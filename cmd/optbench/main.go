@@ -1,0 +1,66 @@
+// Command optbench regenerates the paper's evaluation (Section 4): the
+// rules-matched table (Table 5), the optimization-time figures (Figures
+// 10–13), the equivalence-class growth figure (Figure 14), the §4.2
+// rule-count comparison, and the relational-optimizer experiment of [5].
+//
+// Usage:
+//
+//	optbench -experiment all
+//	optbench -experiment fig10 -maxclasses 6 -repeats 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prairie/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all",
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, all")
+	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
+	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
+	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := experiments.Options{MaxClasses: *maxClasses, Repeats: *repeats, MaxExprs: *maxExprs}
+	emit := func(t *experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println(t.Title)
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	run := map[string]func(){
+		"table5": func() { emit(experiments.Table5(4, opts)) },
+		"fig10":  func() { emit(experiments.Figure(10, opts)) },
+		"fig11":  func() { emit(experiments.Figure(11, opts)) },
+		"fig12":  func() { emit(experiments.Figure(12, opts)) },
+		"fig13":  func() { emit(experiments.Figure(13, opts)) },
+		"fig14":  func() { emit(experiments.Figure14(opts)) },
+		"rules":  func() { emit(experiments.RuleCounts()) },
+		"relopt": func() { emit(experiments.Relopt(opts)) },
+		"star":   func() { emit(experiments.StarGraphs(opts)) },
+	}
+	if *which == "all" {
+		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {
+			run[name]()
+		}
+		return
+	}
+	fn, ok := run[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "optbench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+	fn()
+}

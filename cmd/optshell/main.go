@@ -1,0 +1,140 @@
+// Command optshell optimizes (and optionally executes) one query against
+// the reconstructed Open OODB optimizer: it builds an E1–E4 workload
+// over a synthetic catalog, runs the Prairie-generated optimizer, and
+// prints the winning access plan, its estimated cost, and the search
+// statistics.
+//
+// Usage:
+//
+//	optshell -expr E3 -n 3 -indexed -execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prairie/internal/data"
+	"prairie/internal/exec"
+	"prairie/internal/oodb"
+	"prairie/internal/p2v"
+	"prairie/internal/qgen"
+	"prairie/internal/volcano"
+)
+
+func main() {
+	expr := flag.String("expr", "E1", "expression family: E1, E2, E3 or E4")
+	n := flag.Int("n", 3, "number of classes (joins = n-1)")
+	indexed := flag.Bool("indexed", false, "give every class an index on its selection attribute")
+	seed := flag.Int64("seed", 101, "catalog instance seed")
+	execute := flag.Bool("execute", false, "run the winning plan on synthetic data")
+	maxRows := flag.Int("maxrows", 256, "rows per table when executing")
+	baseline := flag.Bool("volcano", false, "use the hand-coded Volcano rule set instead of the Prairie-generated one")
+	strategy := flag.String("strategy", "topdown", "search strategy: topdown or bottomup")
+	trace := flag.Bool("trace", false, "print a trace of rule firings and costed alternatives")
+	flag.Parse()
+
+	var family qgen.ExprKind
+	switch *expr {
+	case "E1":
+		family = qgen.E1
+	case "E2":
+		family = qgen.E2
+	case "E3":
+		family = qgen.E3
+	case "E4":
+		family = qgen.E4
+	default:
+		fmt.Fprintf(os.Stderr, "optshell: unknown expression %q\n", *expr)
+		os.Exit(2)
+	}
+
+	cat := qgen.Catalog(*n, *seed, *indexed)
+	o := oodb.New(cat)
+	var vrs *volcano.RuleSet
+	var rep *p2v.Report
+	if *baseline {
+		vrs = o.VolcanoRules()
+	} else {
+		rs, err := o.PrairieRules()
+		if err != nil {
+			fatal(err)
+		}
+		var err2 error
+		vrs, rep, err2 = p2v.Translate(rs)
+		if err2 != nil {
+			fatal(err2)
+		}
+	}
+
+	tree, err := qgen.Build(o, family, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query (%s, %d classes%s):\n  %s\n\n", family, *n, indexedLabel(*indexed), tree)
+	req := o.Alg.NewDesc()
+	if rep != nil {
+		tree, req, err = rep.PrepareQuery(tree, req)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var plan *volcano.PExpr
+	var stats *volcano.Stats
+	switch *strategy {
+	case "topdown":
+		opt := volcano.NewOptimizer(vrs)
+		if *trace {
+			opt.OnEvent = func(e volcano.Event) { fmt.Println(e) }
+		}
+		plan, err = opt.Optimize(tree, req)
+		stats = opt.Stats
+	case "bottomup":
+		opt := volcano.NewBottomUp(vrs)
+		plan, err = opt.Optimize(tree, req)
+		stats = opt.Stats
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("winning plan (cost %.1f):\n  %s\n\n", plan.Cost(vrs.Class), plan)
+	fmt.Print(plan.Explain(vrs.Class))
+	fmt.Printf("\nsearch (%s): %s\n", *strategy, stats)
+
+	if *execute {
+		db := data.Populate(cat, *seed, *maxRows)
+		comp := exec.NewCompiler(db, exec.Props{
+			Ord: o.Ord, JP: o.JP, SP: o.SP, PA: o.PA, MA: o.MA, UA: o.UA,
+		})
+		it, err := comp.Compile(plan.ToExpr())
+		if err != nil {
+			fatal(err)
+		}
+		res, err := exec.Run(it)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nexecuted: %d tuples, %d columns\n", len(res.Rows), len(res.Schema))
+		for i, row := range res.Rows {
+			if i == 5 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %v\n", row)
+		}
+	}
+}
+
+func indexedLabel(b bool) string {
+	if b {
+		return ", indexed"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "optshell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command prairiec is the Prairie rule compiler — the repository's
+// analogue of the paper's P2V pre-processor binary. It parses a Prairie
+// rule-specification file, checks it, and reports the P2V translation:
+// the automatic property classification, deduced enforcers, rule
+// merging, and the resulting Volcano rule-set shape.
+//
+// Usage:
+//
+//	prairiec [-check] [-fmt] [-dump] file.prairie
+//
+//	-check   parse and type-check only
+//	-fmt     print the canonical formatting of the specification
+//	-dump    also list the generated trans_rules/impl_rules/enforcers
+//
+// Helper functions declared by the specification are bound to stub
+// implementations (returning their result kind's default value): the
+// translation itself never executes rule actions, so stubs suffice for
+// compilation and reporting. Linking real helpers requires the Go API
+// (package prairie).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prairie/internal/core"
+	"prairie/internal/p2v"
+	"prairie/internal/prairielang"
+)
+
+func main() {
+	checkOnly := flag.Bool("check", false, "parse and type-check only")
+	format := flag.Bool("fmt", false, "print canonical formatting")
+	dump := flag.Bool("dump", false, "list generated Volcano rules")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: prairiec [-check] [-fmt] [-dump] file.prairie")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *format {
+		spec, err := prairielang.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prairielang.Format(spec))
+		return
+	}
+	if errs := prairielang.Check(string(src)); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), e)
+		}
+		os.Exit(1)
+	}
+	if *checkOnly {
+		fmt.Printf("%s: specification OK\n", flag.Arg(0))
+		return
+	}
+
+	spec, err := prairielang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	impls := stubHelpers(spec)
+	rs, err := prairielang.Compile(spec, impls)
+	if err != nil {
+		fatal(err)
+	}
+	vrs, rep, err := p2v.Translate(rs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+	if *dump {
+		fmt.Println("\nGenerated Volcano rule set:")
+		for _, r := range vrs.Trans {
+			fmt.Printf("  trans_rule %s\n", r)
+		}
+		for _, r := range vrs.Impls {
+			fmt.Printf("  impl_rule  %s\n", r)
+		}
+		for _, e := range vrs.Enforcers {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}
+
+// stubHelpers binds every declared helper to a default-returning stub.
+func stubHelpers(spec *prairielang.Spec) map[string]prairielang.HelperImpl {
+	impls := make(map[string]prairielang.HelperImpl, len(spec.Helpers))
+	for _, h := range spec.Helpers {
+		kind := h.Result
+		impls[h.Name] = func(args []core.Value) (core.Value, error) {
+			return core.DefaultValue(kind), nil
+		}
+	}
+	return impls
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prairiec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// DSL rules: load a Prairie rule-specification file, compile it with
+// real helper implementations, run the P2V pre-processor, and optimize a
+// query whose sort requirement is met by the deduced Merge_sort
+// enforcer.
+//
+// Run with: go run ./examples/dslrules
+// The same file also feeds the compiler CLI:
+//
+//	go run ./cmd/prairiec -dump examples/dslrules/rules.prairie
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+	"math"
+
+	"prairie"
+)
+
+//go:embed rules.prairie
+var spec string
+
+func main() {
+	rs, err := prairie.ParseRules(spec, map[string]prairie.HelperImpl{
+		"nlogn": func(args []prairie.Value) (prairie.Value, error) {
+			n := math.Max(float64(args[0].(prairie.Float)), 1)
+			return prairie.Float(n * math.Log2(n+1)), nil
+		},
+		"order_within": func(args []prairie.Value) (prairie.Value, error) {
+			ord := args[0].(prairie.Order)
+			return prairie.Bool(ord.Within(args[1].(prairie.Attrs))), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d T-rules and %d I-rules from rules.prairie\n\n",
+		len(rs.TRules), len(rs.IRules))
+
+	_, rep, err := prairie.Generate(rs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	// Build SORT(JOIN(RET(R1), RET(R2))) with initialized descriptors.
+	ps := rs.Algebra.Props
+	nr := ps.MustLookup("num_records")
+	at := ps.MustLookup("attributes")
+	jp := ps.MustLookup("join_predicate")
+	ord := ps.MustLookup("tuple_order")
+	leaf := func(name string, card float64) *prairie.Expr {
+		d := prairie.NewDescriptor(ps)
+		d.SetFloat(nr, card)
+		d.Set(at, prairie.Attrs{prairie.A(name, "a")})
+		return prairie.NewLeaf(name, d)
+	}
+	retOp := rs.Algebra.MustOp("RET")
+	joinOp := rs.Algebra.MustOp("JOIN")
+	sortOp := rs.Algebra.MustOp("SORT")
+	retOf := func(l *prairie.Expr) *prairie.Expr { return prairie.NewNode(retOp, l.D.Clone(), l) }
+	l, r := retOf(leaf("R1", 512)), retOf(leaf("R2", 64))
+	jd := prairie.NewDescriptor(ps)
+	jd.SetFloat(nr, 512) // 512*64 * selectivity 1/64
+	jd.Set(at, l.D.AttrList(at).Union(r.D.AttrList(at)))
+	jd.Set(jp, prairie.EqAttr(prairie.A("R1", "a"), prairie.A("R2", "a")))
+	join := prairie.NewNode(joinOp, jd, l, r)
+	sd := join.D.Clone()
+	sd.Set(ord, prairie.OrderBy(prairie.A("R1", "a")))
+	query := prairie.NewNode(sortOp, sd, join)
+	fmt.Println("query:", query)
+
+	plan, stats, err := prairie.Optimize(rs, query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("winning plan: %s\n", plan)
+	fmt.Printf("              (the SORT node became a requirement; Merge_sort applied as a deduced enforcer)\n")
+	fmt.Printf("search: %d groups, %d expressions\n", stats.Groups, stats.Exprs)
+}

@@ -1,0 +1,89 @@
+// Quickstart: the smallest complete Prairie optimizer, built with the
+// public API. It defines a two-operator algebra (RET, JOIN), one
+// transformation rule (join commutativity) and two implementation rules,
+// then optimizes a two-way join.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prairie"
+)
+
+func main() {
+	// 1. The algebra: operators, algorithms, and descriptor properties.
+	alg := prairie.NewAlgebra("quickstart")
+	nr := alg.Props.Define("num_records", prairie.KindFloat)
+	cost := alg.Props.Define("cost", prairie.KindCost)
+	ret := alg.Operator("RET", 1)
+	join := alg.Operator("JOIN", 2)
+	fileScan := alg.Algorithm("File_scan", 1)
+	nested := alg.Algorithm("Nested_loops", 2)
+
+	// 2. The rules. A T-rule maps operator trees to equivalent operator
+	// trees; an I-rule maps an operator to an implementing algorithm.
+	rs := prairie.NewRuleSet(alg)
+	rs.AddT(&prairie.TRule{
+		Name: "join_commute",
+		LHS:  prairie.POp(join, "D3", prairie.PVar(1, "D1"), prairie.PVar(2, "D2")),
+		RHS:  prairie.POp(join, "D4", prairie.PVar(2, ""), prairie.PVar(1, "")),
+		PostTest: func(b *prairie.Binding) {
+			b.D("D4").CopyFrom(b.D("D3"))
+		},
+	})
+	rs.AddI(&prairie.IRule{
+		Name: "ret_file_scan",
+		LHS:  prairie.POp(ret, "D2", prairie.PVar(1, "D1")),
+		RHS:  prairie.POp(fileScan, "D3", prairie.PVar(1, "")),
+		PreOpt: func(b *prairie.Binding) {
+			b.D("D3").CopyFrom(b.D("D2"))
+		},
+		PostOpt: func(b *prairie.Binding) {
+			// Scanning costs one unit per stored tuple.
+			b.D("D3").SetFloat(cost, b.D("D1").Float(nr))
+		},
+	})
+	rs.AddI(&prairie.IRule{
+		Name: "join_nested_loops",
+		LHS:  prairie.POp(join, "D3", prairie.PVar(1, "D1"), prairie.PVar(2, "D2")),
+		RHS:  prairie.POp(nested, "D5", prairie.PVar(1, "D4"), prairie.PVar(2, "")),
+		PreOpt: func(b *prairie.Binding) {
+			b.D("D5").CopyFrom(b.D("D3"))
+			b.D("D4").CopyFrom(b.D("D1"))
+		},
+		PostOpt: func(b *prairie.Binding) {
+			// Figure 6 of the paper: scan the outer once, the inner per
+			// outer tuple.
+			d4, d2 := b.D("D4"), b.D("D2")
+			b.D("D5").SetFloat(cost, d4.Float(cost)+d4.Float(nr)*d2.Float(cost))
+		},
+	})
+
+	// 3. An initialized operator tree: JOIN(RET(emp), RET(dept)).
+	leaf := func(name string, card float64) *prairie.Expr {
+		d := prairie.NewDescriptor(alg.Props)
+		d.SetFloat(nr, card)
+		return prairie.NewLeaf(name, d)
+	}
+	retOf := func(l *prairie.Expr) *prairie.Expr {
+		return prairie.NewNode(ret, l.D.Clone(), l)
+	}
+	jd := prairie.NewDescriptor(alg.Props)
+	jd.SetFloat(nr, 10000*64)
+	query := prairie.NewNode(join, jd, retOf(leaf("emp", 10000)), retOf(leaf("dept", 64)))
+
+	// 4. Translate with P2V and optimize.
+	plan, stats, err := prairie.Optimize(rs, query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:       ", query)
+	fmt.Println("winning plan:", plan)
+	fmt.Printf("cost:         %.0f (commutativity put the small relation on the outside)\n",
+		plan.D.Float(cost))
+	fmt.Printf("search:       %d equivalence classes, %d expressions\n",
+		stats.Groups, stats.Exprs)
+}

@@ -1,0 +1,3 @@
+module prairie
+
+go 1.22

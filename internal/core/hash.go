@@ -1,0 +1,34 @@
+package core
+
+// FNV-1a hashing helpers shared by values and descriptors. The optimizer
+// engine hashes descriptors constantly (duplicate expression detection,
+// winner memoization), so these are kept allocation-free.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashString(s string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashUint64(v uint64) uint64 {
+	h := fnvOffset
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// HashCombine mixes b into a; it is order-sensitive.
+func HashCombine(a, b uint64) uint64 {
+	return (a*fnvPrime ^ b) * fnvPrime
+}

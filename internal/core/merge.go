@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MergeRuleSets combines several Prairie rule sets over the same algebra
+// into one — the modular composition the paper's conclusion proposes
+// ("combining multiple Prairie rule sets to automatically generate
+// efficient optimizers"). A base module might define the relational
+// rules while extension modules contribute new algorithms or operators;
+// P2V then generates a single optimizer from the union.
+//
+// All inputs must share one Algebra instance (operations and properties
+// are identified by pointer). Duplicate rule names across modules are an
+// error; helper functions may be re-registered only with an identical
+// signature.
+func MergeRuleSets(sets ...*RuleSet) (*RuleSet, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: no rule sets to merge")
+	}
+	alg := sets[0].Algebra
+	out := NewRuleSet(alg)
+	seen := map[string]bool{}
+	for i, rs := range sets {
+		if rs.Algebra != alg {
+			return nil, fmt.Errorf("core: rule set %d is over algebra %q, not %q; modules must share one algebra",
+				i, rs.Algebra.Name, alg.Name)
+		}
+		for _, r := range rs.TRules {
+			if seen[r.Name] {
+				return nil, fmt.Errorf("core: rule %q defined by more than one module", r.Name)
+			}
+			seen[r.Name] = true
+			out.AddT(r)
+		}
+		for _, r := range rs.IRules {
+			if seen[r.Name] {
+				return nil, fmt.Errorf("core: rule %q defined by more than one module", r.Name)
+			}
+			seen[r.Name] = true
+			out.AddI(r)
+		}
+		for _, name := range rs.Helpers.Names() {
+			h, _ := rs.Helpers.Lookup(name)
+			if prev, ok := out.Helpers.Lookup(name); ok {
+				if !sameSignature(prev, h) {
+					return nil, fmt.Errorf("core: helper %q re-declared with a different signature", name)
+				}
+				continue
+			}
+			out.Helpers.Define(h.Name, h.Params, h.Result, h.Fn)
+		}
+	}
+	return out, nil
+}
+
+func sameSignature(a, b *Helper) bool {
+	if a.Result != b.Result || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}

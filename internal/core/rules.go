@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Binding carries the descriptor environment a rule's actions run in:
+// every descriptor variable name appearing in the rule's patterns maps to
+// a descriptor. Left-hand-side descriptors are bound by the engine from
+// the matched expression; right-hand-side descriptors are created fresh
+// and filled by the rule's actions.
+// Bindings hold few entries (the descriptor variables of one rule), so
+// they are slice-backed: linear scans beat map overhead and halve the
+// allocations on the optimizer's hot path.
+type bindingEntry struct {
+	name string
+	d    *Descriptor
+}
+
+type Binding struct {
+	ps      *PropertySet
+	entries []bindingEntry
+}
+
+// NewBinding returns an empty binding over a property set.
+func NewBinding(ps *PropertySet) *Binding {
+	return &Binding{ps: ps, entries: make([]bindingEntry, 0, 8)}
+}
+
+func (b *Binding) lookup(name string) *Descriptor {
+	for i := range b.entries {
+		if b.entries[i].name == name {
+			return b.entries[i].d
+		}
+	}
+	return nil
+}
+
+// D returns the descriptor bound to name, creating an empty one on first
+// reference (right-hand-side descriptors come into existence this way).
+func (b *Binding) D(name string) *Descriptor {
+	if d := b.lookup(name); d != nil {
+		return d
+	}
+	d := NewDescriptor(b.ps)
+	d.Name = name
+	b.entries = append(b.entries, bindingEntry{name, d})
+	return d
+}
+
+// Bind associates name with an existing descriptor, replacing any
+// previous binding.
+func (b *Binding) Bind(name string, d *Descriptor) {
+	for i := range b.entries {
+		if b.entries[i].name == name {
+			b.entries[i].d = d
+			return
+		}
+	}
+	b.entries = append(b.entries, bindingEntry{name, d})
+}
+
+// Bound reports whether name is bound.
+func (b *Binding) Bound(name string) bool { return b.lookup(name) != nil }
+
+// Names returns the bound names, sorted.
+func (b *Binding) Names() []string {
+	out := make([]string, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, e.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Action is a group of descriptor assignment statements. Left-hand sides
+// refer to right-hand-side descriptors of the rule; right-hand sides may
+// read any descriptor in the binding and call helper functions. An action
+// must not modify left-hand-side descriptors (Validate and the P2V taint
+// tracer enforce this).
+type Action func(b *Binding)
+
+// Test is a rule applicability check: a boolean expression over the
+// binding, possibly calling helper functions.
+type Test func(b *Binding) bool
+
+// ActionHints optionally declares which (descriptor name, property) pairs
+// an action assigns. The paper (footnote 3) notes that non-assignment
+// actions need such hints for P2V to classify properties; closure-based
+// rules whose behaviour the taint tracer cannot see may declare them
+// here.
+type ActionHints struct {
+	// Writes lists assignments as "Dname.prop" strings; "Dname.*" marks
+	// a whole-descriptor copy target.
+	PreWrites  []string // pre-test (T-rule) or pre-opt (I-rule) section
+	PostWrites []string // post-test or post-opt section
+}
+
+// TRule is a transformation rule (§2.3): an equivalence between two
+// expressions of abstract operators, with actions split into pre-test
+// statements, a test, and post-test statements.
+//
+//	E(x1..xn):D1  ==>  E'(x1..xn):D2
+//	{{ pre-test }}  test  {{ post-test }}
+type TRule struct {
+	Name     string
+	LHS, RHS *PatNode
+	PreTest  Action // may be nil
+	Test     Test   // nil means TRUE
+	PostTest Action // may be nil
+	Hints    *ActionHints
+}
+
+// RunCond executes the rule's pre-test statements and test against the
+// binding; it reports whether the rule applies.
+func (r *TRule) RunCond(b *Binding) bool {
+	if r.PreTest != nil {
+		r.PreTest(b)
+	}
+	if r.Test != nil {
+		return r.Test(b)
+	}
+	return true
+}
+
+// RunPost executes the post-test statements.
+func (r *TRule) RunPost(b *Binding) {
+	if r.PostTest != nil {
+		r.PostTest(b)
+	}
+}
+
+// String renders the rule header in the paper's notation.
+func (r *TRule) String() string {
+	return fmt.Sprintf("%s: %s ==> %s", r.Name, r.LHS, r.RHS)
+}
+
+// IRule is an implementation rule (§2.4): an equivalence between an
+// operator expression and an implementing algorithm, with a test, pre-opt
+// statements (run before the algorithm's inputs are optimized; they set
+// the algorithm's descriptor and the required properties of inputs), and
+// post-opt statements (run after the inputs are optimized; they normally
+// compute cost).
+type IRule struct {
+	Name     string
+	LHS, RHS *PatNode
+	Test     Test   // nil means TRUE
+	PreOpt   Action // may be nil
+	PostOpt  Action // may be nil
+	Hints    *ActionHints
+}
+
+// Op returns the abstract operator on the rule's left side.
+func (r *IRule) Op() *Operation { return r.LHS.Op }
+
+// Alg returns the implementing algorithm on the rule's right side.
+func (r *IRule) Alg() *Operation { return r.RHS.Op }
+
+// IsNullRule reports whether the rule implements its operator by the Null
+// algorithm (§2.5), which marks the operator as an enforcer-operator.
+func (r *IRule) IsNullRule() bool { return r.Alg() != nil && r.Alg().IsNull() }
+
+// RunTest evaluates the rule's test.
+func (r *IRule) RunTest(b *Binding) bool {
+	if r.Test != nil {
+		return r.Test(b)
+	}
+	return true
+}
+
+// String renders the rule header in the paper's notation.
+func (r *IRule) String() string {
+	return fmt.Sprintf("%s: %s ==> %s", r.Name, r.LHS, r.RHS)
+}
+
+// Helper is a user-supplied support function callable from rule actions
+// and tests (the paper's "helper functions": is_associative, cardinality,
+// union, ...).
+type Helper struct {
+	Name   string
+	Params []Kind
+	Result Kind
+	Fn     func(args []Value) (Value, error)
+}
+
+// Helpers is the registry of helper functions for a rule set.
+type Helpers struct {
+	byName map[string]*Helper
+}
+
+// NewHelpers returns an empty helper registry.
+func NewHelpers() *Helpers { return &Helpers{byName: make(map[string]*Helper)} }
+
+// Define registers a helper function. Re-registering a name replaces it.
+func (h *Helpers) Define(name string, params []Kind, result Kind, fn func(args []Value) (Value, error)) *Helper {
+	hp := &Helper{Name: name, Params: params, Result: result, Fn: fn}
+	h.byName[name] = hp
+	return hp
+}
+
+// Lookup returns the named helper.
+func (h *Helpers) Lookup(name string) (*Helper, bool) {
+	hp, ok := h.byName[name]
+	return hp, ok
+}
+
+// Call invokes a helper by name.
+func (h *Helpers) Call(name string, args ...Value) (Value, error) {
+	hp, ok := h.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown helper %q", name)
+	}
+	return hp.Fn(args)
+}
+
+// Names returns registered helper names, sorted.
+func (h *Helpers) Names() []string {
+	out := make([]string, 0, len(h.byName))
+	for n := range h.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleSet is a complete Prairie specification: an algebra (operations and
+// properties), T-rules, I-rules, and helper functions. It defines a
+// search space and cost model but no search strategy; a back-end engine
+// (internal/volcano, via internal/p2v) supplies that.
+type RuleSet struct {
+	Algebra *Algebra
+	TRules  []*TRule
+	IRules  []*IRule
+	Helpers *Helpers
+}
+
+// NewRuleSet returns an empty rule set over the algebra.
+func NewRuleSet(a *Algebra) *RuleSet {
+	return &RuleSet{Algebra: a, Helpers: NewHelpers()}
+}
+
+// AddT appends a T-rule.
+func (rs *RuleSet) AddT(r *TRule) *TRule { rs.TRules = append(rs.TRules, r); return r }
+
+// AddI appends an I-rule.
+func (rs *RuleSet) AddI(r *IRule) *IRule { rs.IRules = append(rs.IRules, r); return r }
+
+// IRulesFor returns the I-rules whose left side is op.
+func (rs *RuleSet) IRulesFor(op *Operation) []*IRule {
+	var out []*IRule
+	for _, r := range rs.IRules {
+		if r.Op() == op {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EnforcerOperators returns the operators that have a Null implementation
+// (§2.5, §3.1): P2V classifies these as enforcer-operators.
+func (rs *RuleSet) EnforcerOperators() []*Operation {
+	var out []*Operation
+	seen := map[*Operation]bool{}
+	for _, r := range rs.IRules {
+		if r.IsNullRule() && !seen[r.Op()] {
+			seen[r.Op()] = true
+			out = append(out, r.Op())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

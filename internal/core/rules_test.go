@@ -1,0 +1,295 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// miniAlgebra builds the paper's running example (Table 1): RET, JOIN,
+// SORT with File_scan, Index_scan, Nested_loops, Merge_join, Merge_sort
+// and Null.
+func miniAlgebra() *Algebra {
+	a := NewAlgebra("mini")
+	a.Props.Define("tuple_order", KindOrder)
+	a.Props.Define("join_predicate", KindPred)
+	a.Props.Define("selection_predicate", KindPred)
+	a.Props.Define("attributes", KindAttrs)
+	a.Props.Define("num_records", KindFloat)
+	a.Props.Define("cost", KindCost)
+	a.Operator("RET", 1)
+	a.Operator("JOIN", 2)
+	a.Operator("SORT", 1)
+	a.Algorithm("File_scan", 1)
+	a.Algorithm("Index_scan", 1)
+	a.Algorithm("Nested_loops", 2)
+	a.Algorithm("Merge_join", 2)
+	a.Algorithm("Merge_sort", 1)
+	a.Null()
+	return a
+}
+
+func TestAlgebraRegistration(t *testing.T) {
+	a := miniAlgebra()
+	join := a.MustOp("JOIN")
+	if join.Kind != Operator || join.Arity != 2 {
+		t.Errorf("JOIN = %v/%d", join.Kind, join.Arity)
+	}
+	if got := a.Operator("JOIN", 2); got != join {
+		t.Error("re-registration should return same operation")
+	}
+	if _, ok := a.Op("NOPE"); ok {
+		t.Error("found unknown op")
+	}
+	if !a.Null().IsNull() {
+		t.Error("Null algorithm not recognized")
+	}
+	if a.Null() != a.MustOp("Null") {
+		t.Error("Null not registered by name")
+	}
+	ops := a.Operators()
+	if len(ops) != 3 || ops[0].Name != "JOIN" {
+		t.Errorf("Operators = %v", ops)
+	}
+	if len(a.Algorithms()) != 6 {
+		t.Errorf("Algorithms = %v", a.Algorithms())
+	}
+	if a.NumOps() != 9 {
+		t.Errorf("NumOps = %d", a.NumOps())
+	}
+	seen := map[int]bool{}
+	for _, o := range a.Operations() {
+		if seen[o.Index()] {
+			t.Error("duplicate operation index")
+		}
+		seen[o.Index()] = true
+	}
+}
+
+func TestAlgebraRedefinitionPanics(t *testing.T) {
+	a := miniAlgebra()
+	defer func() {
+		if recover() == nil {
+			t.Error("arity conflict should panic")
+		}
+	}()
+	a.Operator("JOIN", 3)
+}
+
+func TestExprConstruction(t *testing.T) {
+	a := miniAlgebra()
+	d := func() *Descriptor { return a.NewDesc() }
+	ret := a.MustOp("RET")
+	join := a.MustOp("JOIN")
+	sortOp := a.MustOp("SORT")
+	e := NewNode(sortOp, d(),
+		NewNode(join, d(),
+			NewNode(ret, d(), NewLeaf("R1", d())),
+			NewNode(ret, d(), NewLeaf("R2", d()))))
+	if got := e.String(); got != "SORT(JOIN(RET(R1), RET(R2)))" {
+		t.Errorf("String = %q", got)
+	}
+	if !e.IsLogical() || e.IsPlan() {
+		t.Error("operator tree misclassified")
+	}
+	if e.Size() != 6 {
+		t.Errorf("Size = %d", e.Size())
+	}
+	if got := e.Leaves(); len(got) != 2 || got[0] != "R1" || got[1] != "R2" {
+		t.Errorf("Leaves = %v", got)
+	}
+	c := e.Clone()
+	c.Kids[0].D.SetFloat(a.Props.MustLookup("num_records"), 5)
+	if e.Kids[0].D.Has(a.Props.MustLookup("num_records")) {
+		t.Error("Clone shares descriptors")
+	}
+	plan := NewNode(a.MustOp("Nested_loops"), d(),
+		NewNode(a.MustOp("File_scan"), d(), NewLeaf("R1", d())),
+		NewNode(a.MustOp("File_scan"), d(), NewLeaf("R2", d())))
+	if !plan.IsPlan() || plan.IsLogical() {
+		t.Error("access plan misclassified")
+	}
+	if !strings.Contains(e.Format(), "  JOIN") {
+		t.Errorf("Format = %q", e.Format())
+	}
+}
+
+func TestNewNodeArityPanics(t *testing.T) {
+	a := miniAlgebra()
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity should panic")
+		}
+	}()
+	NewNode(a.MustOp("JOIN"), a.NewDesc(), NewLeaf("R1", a.NewDesc()))
+}
+
+func TestPatternBasics(t *testing.T) {
+	a := miniAlgebra()
+	join := a.MustOp("JOIN")
+	// JOIN(JOIN(?1:D1, ?2:D2):D3, ?3:D4):D5 — the join associativity LHS.
+	p := POp(join, "D5",
+		POp(join, "D3", PVar(1, "D1"), PVar(2, "D2")),
+		PVar(3, "D4"))
+	if got := p.String(); got != "JOIN(JOIN(?1:D1, ?2:D2):D3, ?3:D4):D5" {
+		t.Errorf("String = %q", got)
+	}
+	if got := p.Vars(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Vars = %v", got)
+	}
+	if got := p.DescNames(); len(got) != 5 || got[0] != "D5" {
+		t.Errorf("DescNames = %v", got)
+	}
+	if p.Depth() != 2 {
+		t.Errorf("Depth = %d", p.Depth())
+	}
+	if ops := p.Ops(); len(ops) != 1 || ops[0] != join {
+		t.Errorf("Ops = %v", ops)
+	}
+	c := p.Clone()
+	c.Kids[1].Desc = "DX"
+	if p.Kids[1].Desc != "D4" {
+		t.Error("Clone shares nodes")
+	}
+	if !PVar(1, "").IsVar() || p.IsVar() {
+		t.Error("IsVar wrong")
+	}
+	if PVar(1, "").Depth() != 0 {
+		t.Error("var depth should be 0")
+	}
+}
+
+func TestBinding(t *testing.T) {
+	a := miniAlgebra()
+	b := NewBinding(a.Props)
+	d3 := b.D("D3") // auto-created
+	if !b.Bound("D3") || b.Bound("D4") {
+		t.Error("Bound wrong")
+	}
+	if b.D("D3") != d3 {
+		t.Error("D should return the same descriptor")
+	}
+	if d3.Name != "D3" {
+		t.Error("descriptor not tagged with its name")
+	}
+	ext := a.NewDesc()
+	b.Bind("D4", ext)
+	if b.D("D4") != ext {
+		t.Error("Bind failed")
+	}
+	names := b.Names()
+	if len(names) != 2 || names[0] != "D3" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestTRuleCondAndPost(t *testing.T) {
+	a := miniAlgebra()
+	nr := a.Props.MustLookup("num_records")
+	join := a.MustOp("JOIN")
+	var postRan bool
+	r := &TRule{
+		Name: "commute",
+		LHS:  POp(join, "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS:  POp(join, "D4", PVar(2, ""), PVar(1, "")),
+		PreTest: func(b *Binding) {
+			b.D("D4").SetFloat(nr, b.D("D3").Float(nr))
+		},
+		Test:     func(b *Binding) bool { return b.D("D4").Float(nr) > 10 },
+		PostTest: func(b *Binding) { postRan = true },
+	}
+	b := NewBinding(a.Props)
+	b.D("D3").SetFloat(nr, 5)
+	if r.RunCond(b) {
+		t.Error("test should fail for 5")
+	}
+	b2 := NewBinding(a.Props)
+	b2.D("D3").SetFloat(nr, 50)
+	if !r.RunCond(b2) {
+		t.Error("test should pass for 50")
+	}
+	r.RunPost(b2)
+	if !postRan {
+		t.Error("post-test did not run")
+	}
+	// nil test means TRUE; nil actions are no-ops.
+	r2 := &TRule{Name: "always", LHS: r.LHS, RHS: r.RHS}
+	if !r2.RunCond(NewBinding(a.Props)) {
+		t.Error("nil test should be TRUE")
+	}
+	r2.RunPost(NewBinding(a.Props))
+	if !strings.Contains(r.String(), "==>") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestIRuleAccessors(t *testing.T) {
+	a := miniAlgebra()
+	join := a.MustOp("JOIN")
+	nl := a.MustOp("Nested_loops")
+	r := &IRule{
+		Name: "nl",
+		LHS:  POp(join, "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS:  POp(nl, "D5", PVar(1, "D4"), PVar(2, "")),
+	}
+	if r.Op() != join || r.Alg() != nl || r.IsNullRule() {
+		t.Error("accessors wrong")
+	}
+	if !r.RunTest(NewBinding(a.Props)) {
+		t.Error("nil test should be TRUE")
+	}
+	sortOp := a.MustOp("SORT")
+	nullRule := &IRule{
+		Name: "null_sort",
+		LHS:  POp(sortOp, "D2", PVar(1, "D1")),
+		RHS:  POp(a.Null(), "D4", PVar(1, "D3")),
+	}
+	if !nullRule.IsNullRule() {
+		t.Error("Null rule not detected")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	h := NewHelpers()
+	h.Define("twice", []Kind{KindFloat}, KindFloat, func(args []Value) (Value, error) {
+		return Float(2 * float64(args[0].(Float))), nil
+	})
+	v, err := h.Call("twice", Float(21))
+	if err != nil || !v.Equal(Float(42)) {
+		t.Errorf("Call = %v, %v", v, err)
+	}
+	if _, err := h.Call("missing"); err == nil {
+		t.Error("missing helper should error")
+	}
+	if hp, ok := h.Lookup("twice"); !ok || hp.Result != KindFloat {
+		t.Error("Lookup failed")
+	}
+	if got := h.Names(); len(got) != 1 || got[0] != "twice" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestRuleSetEnforcerOperators(t *testing.T) {
+	a := miniAlgebra()
+	rs := NewRuleSet(a)
+	sortOp := a.MustOp("SORT")
+	join := a.MustOp("JOIN")
+	rs.AddI(&IRule{Name: "null_sort",
+		LHS: POp(sortOp, "D2", PVar(1, "D1")),
+		RHS: POp(a.Null(), "D4", PVar(1, "D3"))})
+	rs.AddI(&IRule{Name: "merge_sort",
+		LHS: POp(sortOp, "D2", PVar(1, "D1")),
+		RHS: POp(a.MustOp("Merge_sort"), "D3", PVar(1, ""))})
+	rs.AddI(&IRule{Name: "nl",
+		LHS: POp(join, "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS: POp(a.MustOp("Nested_loops"), "D5", PVar(1, "D4"), PVar(2, ""))})
+	enf := rs.EnforcerOperators()
+	if len(enf) != 1 || enf[0] != sortOp {
+		t.Errorf("EnforcerOperators = %v", enf)
+	}
+	if got := rs.IRulesFor(sortOp); len(got) != 2 {
+		t.Errorf("IRulesFor(SORT) = %d rules", len(got))
+	}
+	if got := rs.IRulesFor(a.MustOp("RET")); len(got) != 0 {
+		t.Errorf("IRulesFor(RET) = %d rules", len(got))
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+)
+
+// ValidationError describes one specification problem found by Validate.
+type ValidationError struct {
+	Rule string // rule name, or "" for algebra-level problems
+	Msg  string
+}
+
+func (e ValidationError) Error() string {
+	if e.Rule == "" {
+		return "ruleset: " + e.Msg
+	}
+	return "rule " + e.Rule + ": " + e.Msg
+}
+
+// Validate checks that a rule set is well-formed before it is handed to
+// the P2V pre-processor:
+//
+//   - T-rule sides contain only abstract operators; I-rules map a single
+//     operator pattern to a single algorithm pattern.
+//   - Pattern variables on a right side all occur on the left side, and
+//     left-side variables are distinct.
+//   - Descriptor variable names are unique within a rule, and right-side
+//     interior nodes introduce new names (a T-rule never changes
+//     left-hand-side descriptors, §2.3).
+//   - T-rule right-side variable leaves do not carry descriptor names
+//     (that form is reserved for I-rules, footnote 5 notwithstanding:
+//     enforcer introduction uses interior SORT nodes).
+//   - Null rules have the §2.5 shape: single-input operator to Null with
+//     a fresh input descriptor.
+//   - Every abstract operator has at least one I-rule, so every operator
+//     tree can become an access plan.
+//
+// It also records, on each algorithm, the operators it implements.
+// Validate returns all problems found, not just the first.
+func (rs *RuleSet) Validate() []error {
+	var errs []error
+	bad := func(rule, format string, args ...interface{}) {
+		errs = append(errs, ValidationError{Rule: rule, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	names := map[string]bool{}
+	for _, r := range rs.TRules {
+		if r.Name == "" {
+			bad("", "T-rule with empty name")
+			continue
+		}
+		if names[r.Name] {
+			bad(r.Name, "duplicate rule name")
+		}
+		names[r.Name] = true
+		if r.LHS == nil || r.RHS == nil {
+			bad(r.Name, "missing pattern side")
+			continue
+		}
+		if r.LHS.IsVar() {
+			bad(r.Name, "left side must be an operator expression")
+			continue
+		}
+		for _, side := range []*PatNode{r.LHS, r.RHS} {
+			for _, op := range side.Ops() {
+				if op.Kind != Operator {
+					bad(r.Name, "T-rule mentions algorithm %s; T-rule sides involve only abstract operators", op.Name)
+				}
+			}
+		}
+		checkVars(r.Name, r.LHS, r.RHS, &errs)
+		checkDescs(r.Name, r.LHS, r.RHS, false, &errs)
+	}
+
+	for _, r := range rs.IRules {
+		if r.Name == "" {
+			bad("", "I-rule with empty name")
+			continue
+		}
+		if names[r.Name] {
+			bad(r.Name, "duplicate rule name")
+		}
+		names[r.Name] = true
+		if r.LHS == nil || r.RHS == nil || r.LHS.IsVar() || r.RHS.IsVar() {
+			bad(r.Name, "I-rule sides must be operation expressions")
+			continue
+		}
+		if r.LHS.Depth() != 1 {
+			bad(r.Name, "I-rule left side must be a single operator over inputs")
+		}
+		if r.RHS.Depth() != 1 {
+			bad(r.Name, "I-rule right side must be a single algorithm over inputs")
+		}
+		if r.Op().Kind != Operator {
+			bad(r.Name, "I-rule left side %s is not an abstract operator", r.Op().Name)
+		}
+		if r.Alg().Kind != Algorithm {
+			bad(r.Name, "I-rule right side %s is not an algorithm", r.Alg().Name)
+		}
+		if r.Op().Kind == Operator && r.Alg().Kind == Algorithm {
+			if r.IsNullRule() {
+				if r.Op().Arity != 1 {
+					bad(r.Name, "Null rules require a single-input operator (got arity %d)", r.Op().Arity)
+				}
+				if len(r.RHS.Kids) == 1 && r.RHS.Kids[0].Desc == "" {
+					bad(r.Name, "Null rule input needs a fresh descriptor to propagate properties (§2.5)")
+				}
+			} else if r.Alg().Arity != r.Op().Arity {
+				bad(r.Name, "algorithm %s arity %d != operator %s arity %d",
+					r.Alg().Name, r.Alg().Arity, r.Op().Name, r.Op().Arity)
+			}
+			recordImplements(r.Alg(), r.Op())
+		}
+		checkVars(r.Name, r.LHS, r.RHS, &errs)
+		checkDescs(r.Name, r.LHS, r.RHS, true, &errs)
+	}
+
+	// Every operator must be implementable: either directly by an
+	// I-rule, or via a T-rule whose root rewrites it into an
+	// implementable operator (footnote 5's JOIN => JOPR pattern).
+	implemented := map[*Operation]bool{}
+	for _, r := range rs.IRules {
+		implemented[r.Op()] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rs.TRules {
+			if r.LHS == nil || r.RHS == nil || r.LHS.IsVar() || implemented[r.LHS.Op] {
+				continue
+			}
+			if r.RHS.IsVar() || implemented[r.RHS.Op] {
+				implemented[r.LHS.Op] = true
+				changed = true
+			}
+		}
+	}
+	for _, op := range rs.Algebra.Operators() {
+		if !implemented[op] {
+			bad("", "operator %s has no I-rule and no T-rule rewriting it to an implementable operator", op.Name)
+		}
+	}
+
+	if n := len(rs.Algebra.Props.CostProps()); n != 1 {
+		bad("", "rule set must define exactly one COST-kind property (found %d)", n)
+	}
+	return errs
+}
+
+func recordImplements(alg, op *Operation) {
+	for _, o := range alg.Implements {
+		if o == op {
+			return
+		}
+	}
+	alg.Implements = append(alg.Implements, op)
+}
+
+func checkVars(rule string, lhs, rhs *PatNode, errs *[]error) {
+	lvars := map[int]bool{}
+	for _, v := range lhs.Vars() {
+		if v <= 0 {
+			*errs = append(*errs, ValidationError{rule, fmt.Sprintf("variable index %d must be positive", v)})
+		}
+		if lvars[v] {
+			*errs = append(*errs, ValidationError{rule, fmt.Sprintf("variable ?%d repeated on left side", v)})
+		}
+		lvars[v] = true
+	}
+	for _, v := range rhs.Vars() {
+		if !lvars[v] {
+			*errs = append(*errs, ValidationError{rule, fmt.Sprintf("variable ?%d on right side is unbound", v)})
+		}
+	}
+}
+
+func checkDescs(rule string, lhs, rhs *PatNode, isIRule bool, errs *[]error) {
+	seen := map[string]bool{}
+	for _, side := range []*PatNode{lhs, rhs} {
+		for _, n := range side.DescNames() {
+			if seen[n] {
+				*errs = append(*errs, ValidationError{rule, fmt.Sprintf("descriptor %s bound more than once", n)})
+			}
+			seen[n] = true
+		}
+	}
+	if lhs.Desc == "" {
+		*errs = append(*errs, ValidationError{rule, "left-side root needs a descriptor name"})
+	}
+	if !rhs.IsVar() && rhs.Desc == "" {
+		*errs = append(*errs, ValidationError{rule, "right-side root needs a descriptor name"})
+	}
+	_ = isIRule // variable-leaf descriptors are legal on both rule kinds:
+	// left-side ones ("?1:D1") read input properties, right-side ones
+	// ("?1:D4") state required input properties (I-rules, and T-rules
+	// rewritten by P2V's enforcer-operator deletion).
+}

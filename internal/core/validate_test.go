@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// validMiniRuleSet builds a complete, valid rule set over miniAlgebra.
+func validMiniRuleSet() *RuleSet {
+	a := miniAlgebra()
+	rs := NewRuleSet(a)
+	ret, join, sortOp := a.MustOp("RET"), a.MustOp("JOIN"), a.MustOp("SORT")
+	rs.AddT(&TRule{Name: "join_commute",
+		LHS: POp(join, "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS: POp(join, "D4", PVar(2, ""), PVar(1, ""))})
+	rs.AddI(&IRule{Name: "file_scan",
+		LHS: POp(ret, "D2", PVar(1, "D1")),
+		RHS: POp(a.MustOp("File_scan"), "D3", PVar(1, ""))})
+	rs.AddI(&IRule{Name: "nested_loops",
+		LHS: POp(join, "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS: POp(a.MustOp("Nested_loops"), "D5", PVar(1, "D4"), PVar(2, ""))})
+	rs.AddI(&IRule{Name: "merge_sort",
+		LHS: POp(sortOp, "D2", PVar(1, "D1")),
+		RHS: POp(a.MustOp("Merge_sort"), "D3", PVar(1, ""))})
+	rs.AddI(&IRule{Name: "null_sort",
+		LHS: POp(sortOp, "D2", PVar(1, "D1")),
+		RHS: POp(a.Null(), "D4", PVar(1, "D3"))})
+	return rs
+}
+
+func errsContain(errs []error, substr string) bool {
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestValidateAccepts(t *testing.T) {
+	rs := validMiniRuleSet()
+	if errs := rs.Validate(); len(errs) != 0 {
+		t.Fatalf("valid rule set rejected: %v", errs)
+	}
+	// Validate records implements relationships.
+	nl := rs.Algebra.MustOp("Nested_loops")
+	if len(nl.Implements) != 1 || nl.Implements[0] != rs.Algebra.MustOp("JOIN") {
+		t.Errorf("Implements = %v", nl.Implements)
+	}
+}
+
+func TestValidateUnimplementedOperator(t *testing.T) {
+	rs := validMiniRuleSet()
+	rs.Algebra.Operator("SELECT", 1)
+	errs := rs.Validate()
+	if !errsContain(errs, "SELECT has no I-rule") {
+		t.Errorf("missing unimplemented-operator error: %v", errs)
+	}
+}
+
+func TestValidateTRuleWithAlgorithm(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddT(&TRule{Name: "bad_alg",
+		LHS: POp(a.MustOp("JOIN"), "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS: POp(a.MustOp("Nested_loops"), "D4", PVar(1, ""), PVar(2, ""))})
+	if !errsContain(rs.Validate(), "mentions algorithm") {
+		t.Error("T-rule with algorithm accepted")
+	}
+}
+
+func TestValidateUnboundVariable(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddT(&TRule{Name: "unbound",
+		LHS: POp(a.MustOp("RET"), "D2", PVar(1, "D1")),
+		RHS: POp(a.MustOp("RET"), "D3", PVar(7, ""))})
+	if !errsContain(rs.Validate(), "?7 on right side is unbound") {
+		t.Error("unbound variable accepted")
+	}
+}
+
+func TestValidateRepeatedVariable(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddT(&TRule{Name: "repeat",
+		LHS: POp(a.MustOp("JOIN"), "D3", PVar(1, "D1"), PVar(1, "D2")),
+		RHS: POp(a.MustOp("JOIN"), "D4", PVar(1, ""), PVar(1, ""))})
+	if !errsContain(rs.Validate(), "repeated on left side") {
+		t.Error("repeated variable accepted")
+	}
+}
+
+func TestValidateDuplicateDescriptor(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddT(&TRule{Name: "dupdesc",
+		LHS: POp(a.MustOp("JOIN"), "D3", PVar(1, "D3"), PVar(2, "D2")),
+		RHS: POp(a.MustOp("JOIN"), "D4", PVar(2, ""), PVar(1, ""))})
+	if !errsContain(rs.Validate(), "bound more than once") {
+		t.Error("duplicate descriptor name accepted")
+	}
+}
+
+func TestValidateIRuleShape(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	// Deep LHS is not a legal I-rule.
+	rs.AddI(&IRule{Name: "deep",
+		LHS: POp(a.MustOp("SORT"), "D9",
+			POp(a.MustOp("RET"), "D8", PVar(1, "D1"))),
+		RHS: POp(a.MustOp("Merge_sort"), "D10", PVar(1, ""))})
+	if !errsContain(rs.Validate(), "single operator over inputs") {
+		t.Error("deep I-rule LHS accepted")
+	}
+}
+
+func TestValidateIRuleKindMismatch(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddI(&IRule{Name: "op_on_rhs",
+		LHS: POp(a.MustOp("JOIN"), "D3", PVar(1, "D1"), PVar(2, "D2")),
+		RHS: POp(a.MustOp("JOIN"), "D4", PVar(1, ""), PVar(2, ""))})
+	if !errsContain(rs.Validate(), "is not an algorithm") {
+		t.Error("operator on I-rule RHS accepted")
+	}
+}
+
+func TestValidateArityMismatch(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddI(&IRule{Name: "bad_arity",
+		LHS: POp(a.MustOp("SORT"), "D2", PVar(1, "D1")),
+		RHS: POp(a.MustOp("Nested_loops"), "D5", PVar(1, ""), PVar(1, ""))})
+	errs := rs.Validate()
+	if !errsContain(errs, "arity") {
+		t.Errorf("arity mismatch accepted: %v", errs)
+	}
+}
+
+func TestValidateNullRuleNeedsFreshDescriptor(t *testing.T) {
+	a := miniAlgebra()
+	rs := NewRuleSet(a)
+	sortOp := a.MustOp("SORT")
+	rs.AddI(&IRule{Name: "bad_null",
+		LHS: POp(sortOp, "D2", PVar(1, "D1")),
+		RHS: POp(a.Null(), "D4", PVar(1, ""))}) // no fresh input descriptor
+	if !errsContain(rs.Validate(), "fresh descriptor") {
+		t.Error("Null rule without property propagation accepted")
+	}
+}
+
+func TestValidateCostProperty(t *testing.T) {
+	a := NewAlgebra("nocost")
+	a.Props.Define("tuple_order", KindOrder)
+	a.Operator("RET", 1)
+	a.Algorithm("File_scan", 1)
+	rs := NewRuleSet(a)
+	rs.AddI(&IRule{Name: "fs",
+		LHS: POp(a.MustOp("RET"), "D2", PVar(1, "D1")),
+		RHS: POp(a.MustOp("File_scan"), "D3", PVar(1, ""))})
+	if !errsContain(rs.Validate(), "COST-kind property") {
+		t.Error("rule set without cost property accepted")
+	}
+}
+
+func TestValidateDuplicateRuleNames(t *testing.T) {
+	rs := validMiniRuleSet()
+	a := rs.Algebra
+	rs.AddT(&TRule{Name: "join_commute",
+		LHS: POp(a.MustOp("JOIN"), "DA", PVar(1, "DB"), PVar(2, "DC")),
+		RHS: POp(a.MustOp("JOIN"), "DD", PVar(2, ""), PVar(1, ""))})
+	if !errsContain(rs.Validate(), "duplicate rule name") {
+		t.Error("duplicate rule name accepted")
+	}
+}
+
+func TestValidationErrorText(t *testing.T) {
+	e := ValidationError{Rule: "", Msg: "m"}
+	if e.Error() != "ruleset: m" {
+		t.Errorf("Error = %q", e.Error())
+	}
+	e2 := ValidationError{Rule: "r", Msg: "m"}
+	if e2.Error() != "rule r: m" {
+		t.Errorf("Error = %q", e2.Error())
+	}
+}

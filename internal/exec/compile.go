@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"fmt"
+
+	"prairie/internal/core"
+	"prairie/internal/data"
+)
+
+// Props maps the optimizer's descriptor properties the executor needs.
+// Absent properties are core.NoProp.
+type Props struct {
+	Ord core.PropID // tuple_order
+	JP  core.PropID // join_predicate
+	SP  core.PropID // selection_predicate
+	PA  core.PropID // projected_attributes
+	MA  core.PropID // mat_attribute (pointer attribute for MAT)
+	UA  core.PropID // unnest_attribute
+}
+
+// BuildFunc constructs the iterator for one plan node; it compiles the
+// node's inputs through the Compiler as needed.
+type BuildFunc func(c *Compiler, node *core.Expr) (Iterator, error)
+
+// Compiler turns access plans (core operator trees whose interior nodes
+// are algorithms) into iterator trees over a database.
+type Compiler struct {
+	DB    *data.DB
+	P     Props
+	Build map[string]BuildFunc
+}
+
+// NewCompiler returns a compiler with the standard algorithm builders
+// registered (File_scan, Index_scan, Filter, Project, Nested_loops,
+// Hash_join, Merge_join, Pointer_join, Merge_sort, Materialize, Flatten,
+// Null).
+func NewCompiler(db *data.DB, p Props) *Compiler {
+	c := &Compiler{DB: db, P: p, Build: map[string]BuildFunc{}}
+	c.Build["File_scan"] = buildFileScan
+	c.Build["Index_scan"] = buildIndexScan
+	c.Build["Filter"] = buildFilter
+	c.Build["Project"] = buildProject
+	c.Build["Nested_loops"] = buildNestedLoops
+	c.Build["Hash_join"] = buildHashJoin
+	c.Build["Merge_join"] = buildMergeJoin
+	// Pointer_join is the batched pointer-dereference MAT algorithm:
+	// same semantics as Materialize, different cost model.
+	c.Build["Pointer_join"] = buildMaterialize
+	c.Build["Merge_sort"] = buildMergeSort
+	c.Build["Materialize"] = buildMaterialize
+	c.Build["Flatten"] = buildFlatten
+	c.Build[core.NullName] = buildNull
+	return c
+}
+
+// Compile builds the iterator tree for a plan.
+func (c *Compiler) Compile(plan *core.Expr) (Iterator, error) {
+	if plan.IsLeaf() {
+		return nil, fmt.Errorf("exec: bare stored file %q; plans access files through scan algorithms", plan.File)
+	}
+	b, ok := c.Build[plan.Op.Name]
+	if !ok {
+		return nil, fmt.Errorf("exec: no builder for algorithm %s", plan.Op.Name)
+	}
+	return b(c, plan)
+}
+
+// table resolves a plan leaf to its stored table.
+func (c *Compiler) table(leaf *core.Expr) (*data.Table, error) {
+	if !leaf.IsLeaf() {
+		return nil, fmt.Errorf("exec: scan input must be a stored file, got %s", leaf)
+	}
+	t, ok := c.DB.Table(leaf.File)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown stored file %q", leaf.File)
+	}
+	return t, nil
+}
+
+func (c *Compiler) pred(d *core.Descriptor, id core.PropID) *core.Pred {
+	if id == core.NoProp {
+		return core.TruePred
+	}
+	return d.Pred(id)
+}
+
+func buildFileScan(c *Compiler, node *core.Expr) (Iterator, error) {
+	tab, err := c.table(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	return &scanIter{tab: tab, sel: c.pred(node.D, c.P.SP)}, nil
+}
+
+func buildIndexScan(c *Compiler, node *core.Expr) (Iterator, error) {
+	tab, err := c.table(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	ix := core.Attr{}
+	if c.P.Ord != core.NoProp {
+		if ord := node.D.Order(c.P.Ord); !ord.IsDontCare() && len(ord.By) > 0 {
+			ix = ord.By[0]
+		}
+	}
+	if ix == (core.Attr{}) {
+		return nil, fmt.Errorf("exec: index scan without an index order on %s", tab.Class.Name)
+	}
+	return &scanIter{tab: tab, sel: c.pred(node.D, c.P.SP), byIndex: ix}, nil
+}
+
+func buildFilter(c *Compiler, node *core.Expr) (Iterator, error) {
+	in, err := c.Compile(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{in: in, pred: c.pred(node.D, c.P.SP)}, nil
+}
+
+func buildProject(c *Compiler, node *core.Expr) (Iterator, error) {
+	in, err := c.Compile(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	if c.P.PA == core.NoProp {
+		return nil, fmt.Errorf("exec: no projected_attributes property configured")
+	}
+	return &projectIter{in: in, attrs: node.D.AttrList(c.P.PA)}, nil
+}
+
+func (c *Compiler) joinInputs(node *core.Expr) (l, r Iterator, pred *core.Pred, err error) {
+	if l, err = c.Compile(node.Kids[0]); err != nil {
+		return
+	}
+	if r, err = c.Compile(node.Kids[1]); err != nil {
+		return
+	}
+	pred = c.pred(node.D, c.P.JP)
+	return
+}
+
+func buildNestedLoops(c *Compiler, node *core.Expr) (Iterator, error) {
+	l, r, pred, err := c.joinInputs(node)
+	if err != nil {
+		return nil, err
+	}
+	return &nlJoinIter{l: l, r: r, pred: pred}, nil
+}
+
+func buildHashJoin(c *Compiler, node *core.Expr) (Iterator, error) {
+	l, r, pred, err := c.joinInputs(node)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoinIter{l: l, r: r, pred: pred}, nil
+}
+
+func buildMergeJoin(c *Compiler, node *core.Expr) (Iterator, error) {
+	l, r, pred, err := c.joinInputs(node)
+	if err != nil {
+		return nil, err
+	}
+	return &mergeJoinIter{l: l, r: r, pred: pred}, nil
+}
+
+func buildMergeSort(c *Compiler, node *core.Expr) (Iterator, error) {
+	in, err := c.Compile(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	if c.P.Ord == core.NoProp {
+		return nil, fmt.Errorf("exec: no tuple_order property configured")
+	}
+	ord := node.D.Order(c.P.Ord)
+	if ord.IsDontCare() {
+		return nil, fmt.Errorf("exec: merge sort without a concrete order")
+	}
+	return &sortIter{in: in, by: ord.By}, nil
+}
+
+func buildMaterialize(c *Compiler, node *core.Expr) (Iterator, error) {
+	in, err := c.Compile(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	if c.P.MA == core.NoProp {
+		return nil, fmt.Errorf("exec: no mat_attribute property configured")
+	}
+	refs := node.D.AttrList(c.P.MA)
+	if len(refs) != 1 {
+		return nil, fmt.Errorf("exec: materialize needs exactly one pointer attribute, got %v", refs)
+	}
+	return &matIter{c: c, in: in, ref: refs[0]}, nil
+}
+
+func buildFlatten(c *Compiler, node *core.Expr) (Iterator, error) {
+	in, err := c.Compile(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	if c.P.UA == core.NoProp {
+		return nil, fmt.Errorf("exec: no unnest_attribute property configured")
+	}
+	attrs := node.D.AttrList(c.P.UA)
+	if len(attrs) != 1 {
+		return nil, fmt.Errorf("exec: flatten needs exactly one set attribute, got %v", attrs)
+	}
+	return &unnestIter{in: in, attr: attrs[0]}, nil
+}
+
+func buildNull(c *Compiler, node *core.Expr) (Iterator, error) {
+	in, err := c.Compile(node.Kids[0])
+	if err != nil {
+		return nil, err
+	}
+	return &nullIter{in: in}, nil
+}
+
+// matIter implements MAT's pointer chase: for each input tuple, the
+// referenced object (the target-class row whose id equals the pointer
+// value) is appended to the tuple.
+type matIter struct {
+	c   *Compiler
+	in  Iterator
+	ref core.Attr
+
+	target *data.Table
+	refCol int
+	idCol  int
+	out    data.Schema
+}
+
+func (m *matIter) Schema() data.Schema { return m.out }
+
+func (m *matIter) Open() error {
+	if err := m.in.Open(); err != nil {
+		return err
+	}
+	col, ok := m.in.Schema().Col(m.ref)
+	if !ok {
+		return fmt.Errorf("exec: pointer attribute %v not in input", m.ref)
+	}
+	m.refCol = col
+	// Resolve the target class from the catalog metadata on the table.
+	srcTab, ok := m.c.DB.Table(m.ref.Rel)
+	if !ok {
+		return fmt.Errorf("exec: unknown source class %q for pointer %v", m.ref.Rel, m.ref)
+	}
+	attr, ok := srcTab.Class.Attr(m.ref.Name)
+	if !ok || attr.Ref == "" {
+		return fmt.Errorf("exec: %v is not a pointer attribute", m.ref)
+	}
+	m.target, ok = m.c.DB.Table(attr.Ref)
+	if !ok {
+		return fmt.Errorf("exec: unknown target class %q", attr.Ref)
+	}
+	m.idCol, ok = m.target.Schema.Col(core.Attr{Rel: m.target.Class.Name, Name: "id"})
+	if !ok {
+		return fmt.Errorf("exec: target class %s has no id attribute", m.target.Class.Name)
+	}
+	m.out = m.in.Schema().Concat(m.target.Schema)
+	return nil
+}
+
+func (m *matIter) Next() (data.Tuple, bool, error) {
+	for {
+		t, ok, err := m.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ptr := t[m.refCol]
+		// Objects are stored with id == row ordinal; fall back to a scan
+		// if the ordinal is out of range (scaled-down tables).
+		if int(ptr.I) < len(m.target.Rows) && m.target.Rows[ptr.I][m.idCol].Equal(data.IntD(ptr.I)) {
+			return append(append(data.Tuple{}, t...), m.target.Rows[ptr.I]...), true, nil
+		}
+		for _, row := range m.target.Rows {
+			if row[m.idCol].Equal(ptr) {
+				return append(append(data.Tuple{}, t...), row...), true, nil
+			}
+		}
+		// Dangling pointer: drop the tuple (inner-join semantics).
+	}
+}
+
+func (m *matIter) Close() error { return m.in.Close() }

@@ -1,0 +1,315 @@
+// Package exec executes access plans: it compiles physical expressions
+// produced by the optimizer into Volcano-style demand-driven iterators
+// over the in-memory tables of package data. The Open OODB transformed
+// winning plans into C++ programs; this executor is the repository's
+// substitute, and it lets the test suite verify that every plan in a
+// query's search space computes the same result.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"prairie/internal/core"
+	"prairie/internal/data"
+)
+
+// Iterator is the demand-driven stream interface (Volcano's
+// open/next/close protocol).
+type Iterator interface {
+	// Schema describes the stream's columns; valid before Open.
+	Schema() data.Schema
+	Open() error
+	// Next returns the next tuple; ok is false at end of stream.
+	Next() (t data.Tuple, ok bool, err error)
+	Close() error
+}
+
+// Result is a fully drained stream.
+type Result struct {
+	Schema data.Schema
+	Rows   []data.Tuple
+}
+
+// Run drains an iterator.
+func Run(it Iterator) (*Result, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	res := &Result{Schema: it.Schema()}
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+// scanIter scans a table, applying a selection predicate. When byIndex
+// is set, it simulates an index scan: candidate rows come from the hash
+// index for equality selections on the indexed attribute (or all rows),
+// and tuples are delivered in index-attribute order.
+type scanIter struct {
+	tab     *data.Table
+	sel     *core.Pred
+	byIndex core.Attr // zero: plain file scan
+	rows    []data.Tuple
+	pos     int
+}
+
+func (s *scanIter) Schema() data.Schema { return s.tab.Schema }
+
+func (s *scanIter) Open() error {
+	s.rows = s.rows[:0]
+	s.pos = 0
+	candidates := s.tab.Rows
+	if s.byIndex != (core.Attr{}) {
+		if eq, ok := indexEqTerm(s.sel, s.byIndex); ok && s.tab.HasIndex(s.byIndex.Name) {
+			candidates = nil
+			for _, r := range s.tab.Index(s.byIndex.Name, eq) {
+				candidates = append(candidates, s.tab.Rows[r])
+			}
+		}
+	}
+	for _, row := range candidates {
+		ok, err := EvalPred(s.sel, s.tab.Schema, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.rows = append(s.rows, row)
+		}
+	}
+	if s.byIndex != (core.Attr{}) {
+		col, ok := s.tab.Schema.Col(s.byIndex)
+		if !ok {
+			return fmt.Errorf("exec: index attribute %v not in %s", s.byIndex, s.tab.Class.Name)
+		}
+		sort.SliceStable(s.rows, func(i, j int) bool { return s.rows[i][col].Less(s.rows[j][col]) })
+	}
+	return nil
+}
+
+func (s *scanIter) Next() (data.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *scanIter) Close() error { return nil }
+
+// indexEqTerm finds an equality term "ix = const" in the selection.
+func indexEqTerm(sel *core.Pred, ix core.Attr) (data.Datum, bool) {
+	for _, t := range sel.Conjuncts() {
+		if t.Op == core.PredEq && !t.AttrCmp && t.Left == ix {
+			if c, ok := t.Const.(core.Int); ok {
+				return data.IntD(int64(c)), true
+			}
+			if c, ok := t.Const.(core.Str); ok {
+				return data.StrD(string(c)), true
+			}
+		}
+	}
+	return data.Datum{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Filter / Project / Null
+
+type filterIter struct {
+	in   Iterator
+	pred *core.Pred
+}
+
+func (f *filterIter) Schema() data.Schema { return f.in.Schema() }
+func (f *filterIter) Open() error         { return f.in.Open() }
+func (f *filterIter) Close() error        { return f.in.Close() }
+
+func (f *filterIter) Next() (data.Tuple, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := EvalPred(f.pred, f.in.Schema(), t)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+type projectIter struct {
+	in    Iterator
+	attrs core.Attrs
+	out   data.Schema
+	cols  []int
+}
+
+func (p *projectIter) Schema() data.Schema { return p.out }
+
+func (p *projectIter) Open() error {
+	if err := p.in.Open(); err != nil {
+		return err
+	}
+	p.out = nil
+	p.cols = nil
+	for _, a := range p.attrs {
+		col, ok := p.in.Schema().Col(a)
+		if !ok {
+			return fmt.Errorf("exec: projected attribute %v not in input", a)
+		}
+		p.out = append(p.out, a)
+		p.cols = append(p.cols, col)
+	}
+	return nil
+}
+
+func (p *projectIter) Next() (data.Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(data.Tuple, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = t[c]
+	}
+	return out, true, nil
+}
+
+func (p *projectIter) Close() error { return p.in.Close() }
+
+// nullIter is the Null algorithm: a pure pass-through.
+type nullIter struct{ in Iterator }
+
+func (n *nullIter) Schema() data.Schema             { return n.in.Schema() }
+func (n *nullIter) Open() error                     { return n.in.Open() }
+func (n *nullIter) Next() (data.Tuple, bool, error) { return n.in.Next() }
+func (n *nullIter) Close() error                    { return n.in.Close() }
+
+// ---------------------------------------------------------------------------
+// Sort
+
+type sortIter struct {
+	in   Iterator
+	by   []core.Attr
+	rows []data.Tuple
+	pos  int
+}
+
+func (s *sortIter) Schema() data.Schema { return s.in.Schema() }
+
+func (s *sortIter) Open() error {
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	defer s.in.Close()
+	s.rows = nil
+	s.pos = 0
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, t)
+	}
+	cols := make([]int, len(s.by))
+	for i, a := range s.by {
+		c, ok := s.in.Schema().Col(a)
+		if !ok {
+			return fmt.Errorf("exec: sort attribute %v not in input", a)
+		}
+		cols[i] = c
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, c := range cols {
+			if s.rows[i][c].Less(s.rows[j][c]) {
+				return true
+			}
+			if s.rows[j][c].Less(s.rows[i][c]) {
+				return false
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (s *sortIter) Next() (data.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *sortIter) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Unnest
+
+// unnestIter flattens a set-valued column: one output tuple per element,
+// with the set column replaced by the element.
+type unnestIter struct {
+	in      Iterator
+	attr    core.Attr
+	col     int
+	current data.Tuple
+	idx     int
+}
+
+func (u *unnestIter) Schema() data.Schema { return u.in.Schema() }
+
+func (u *unnestIter) Open() error {
+	if err := u.in.Open(); err != nil {
+		return err
+	}
+	c, ok := u.in.Schema().Col(u.attr)
+	if !ok {
+		return fmt.Errorf("exec: unnest attribute %v not in input", u.attr)
+	}
+	u.col = c
+	u.current = nil
+	u.idx = 0
+	return nil
+}
+
+func (u *unnestIter) Next() (data.Tuple, bool, error) {
+	for {
+		if u.current != nil && u.idx < len(u.current[u.col].Set) {
+			out := make(data.Tuple, len(u.current))
+			copy(out, u.current)
+			out[u.col] = data.IntD(u.current[u.col].Set[u.idx])
+			u.idx++
+			return out, true, nil
+		}
+		t, ok, err := u.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if t[u.col].Kind != data.DSet {
+			return nil, false, fmt.Errorf("exec: unnest of non-set column %v", u.attr)
+		}
+		u.current = t
+		u.idx = 0
+	}
+}
+
+func (u *unnestIter) Close() error { return u.in.Close() }

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"fmt"
+
+	"prairie/internal/core"
+	"prairie/internal/data"
+)
+
+// nlJoinIter is the nested-loops join: for each outer tuple, scan the
+// (materialized) inner input.
+type nlJoinIter struct {
+	l, r  Iterator
+	pred  *core.Pred
+	out   data.Schema
+	inner []data.Tuple
+	cur   data.Tuple
+	pos   int
+}
+
+func (j *nlJoinIter) Schema() data.Schema { return j.out }
+
+func (j *nlJoinIter) Open() error {
+	// Open inputs before reading schemas: some iterators (Materialize)
+	// only know their schema once opened.
+	if err := j.l.Open(); err != nil {
+		return err
+	}
+	if err := j.r.Open(); err != nil {
+		return err
+	}
+	j.out = j.l.Schema().Concat(j.r.Schema())
+	j.inner = nil
+	for {
+		t, ok, err := j.r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.inner = append(j.inner, t)
+	}
+	j.r.Close()
+	j.cur = nil
+	j.pos = 0
+	return nil
+}
+
+func (j *nlJoinIter) Next() (data.Tuple, bool, error) {
+	for {
+		if j.cur == nil {
+			t, ok, err := j.l.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.pos = 0
+		}
+		for j.pos < len(j.inner) {
+			inner := j.inner[j.pos]
+			j.pos++
+			joined := append(append(data.Tuple{}, j.cur...), inner...)
+			ok, err := EvalPred(j.pred, j.out, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return joined, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+func (j *nlJoinIter) Close() error { return j.l.Close() }
+
+// hashJoinIter is an equi-join: it builds a hash table on the right
+// input's join attribute and probes with the left. Residual conjuncts of
+// the predicate are applied after probing.
+type hashJoinIter struct {
+	l, r     Iterator
+	pred     *core.Pred
+	lk, rk   core.Attr
+	out      data.Schema
+	lCol     int
+	buckets  map[uint64][]data.Tuple
+	cur      data.Tuple
+	matches  []data.Tuple
+	matchPos int
+}
+
+func (j *hashJoinIter) Schema() data.Schema { return j.out }
+
+func (j *hashJoinIter) Open() error {
+	if err := j.l.Open(); err != nil {
+		return err
+	}
+	if err := j.r.Open(); err != nil {
+		return err
+	}
+	j.out = j.l.Schema().Concat(j.r.Schema())
+	var err error
+	if j.lk, j.rk, err = equiKeys(j.pred, j.l.Schema()); err != nil {
+		return err
+	}
+	lCol, ok := j.l.Schema().Col(j.lk)
+	if !ok {
+		return fmt.Errorf("exec: hash join key %v not in left input", j.lk)
+	}
+	j.lCol = lCol
+	rCol, ok := j.r.Schema().Col(j.rk)
+	if !ok {
+		return fmt.Errorf("exec: hash join key %v not in right input", j.rk)
+	}
+	j.buckets = map[uint64][]data.Tuple{}
+	for {
+		t, ok, err := j.r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h := t[rCol].Hash()
+		j.buckets[h] = append(j.buckets[h], t)
+	}
+	j.r.Close()
+	j.cur = nil
+	j.matches = nil
+	j.matchPos = 0
+	return nil
+}
+
+func (j *hashJoinIter) Next() (data.Tuple, bool, error) {
+	rCol, _ := j.r.Schema().Col(j.rk)
+	for {
+		for j.matchPos < len(j.matches) {
+			inner := j.matches[j.matchPos]
+			j.matchPos++
+			if !j.cur[j.lCol].Equal(inner[rCol]) {
+				continue // hash collision
+			}
+			joined := append(append(data.Tuple{}, j.cur...), inner...)
+			ok, err := EvalPred(j.pred, j.out, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return joined, true, nil
+			}
+		}
+		t, ok, err := j.l.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = t
+		j.matches = j.buckets[t[j.lCol].Hash()]
+		j.matchPos = 0
+	}
+}
+
+func (j *hashJoinIter) Close() error { return j.l.Close() }
+
+// mergeJoinIter is an equi-join over inputs sorted on the join
+// attributes. It verifies the sortedness it depends on and fails loudly
+// if an optimizer bug delivers unsorted input.
+type mergeJoinIter struct {
+	l, r   Iterator
+	pred   *core.Pred
+	lk, rk core.Attr
+	out    data.Schema
+	left   []data.Tuple
+	right  []data.Tuple
+	li, ri int
+	queue  []data.Tuple
+}
+
+func (j *mergeJoinIter) Schema() data.Schema { return j.out }
+
+func drainSorted(it Iterator, key core.Attr, side string) ([]data.Tuple, int, error) {
+	col, ok := it.Schema().Col(key)
+	if !ok {
+		return nil, 0, fmt.Errorf("exec: merge join key %v not in %s input", key, side)
+	}
+	var rows []data.Tuple
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		if n := len(rows); n > 0 && t[col].Less(rows[n-1][col]) {
+			return nil, 0, fmt.Errorf("exec: merge join %s input not sorted on %v", side, key)
+		}
+		rows = append(rows, t)
+	}
+	return rows, col, nil
+}
+
+func (j *mergeJoinIter) Open() error {
+	if err := j.l.Open(); err != nil {
+		return err
+	}
+	if err := j.r.Open(); err != nil {
+		return err
+	}
+	j.out = j.l.Schema().Concat(j.r.Schema())
+	var lCol, rCol int
+	var err error
+	if j.lk, j.rk, err = equiKeys(j.pred, j.l.Schema()); err != nil {
+		return err
+	}
+	if j.left, lCol, err = drainSorted(j.l, j.lk, "left"); err != nil {
+		return err
+	}
+	if j.right, rCol, err = drainSorted(j.r, j.rk, "right"); err != nil {
+		return err
+	}
+	j.l.Close()
+	j.r.Close()
+	// Merge phase: emit all matching pairs into the queue (group-wise
+	// cross products on equal keys).
+	j.queue = nil
+	li, ri := 0, 0
+	for li < len(j.left) && ri < len(j.right) {
+		lv, rv := j.left[li][lCol], j.right[ri][rCol]
+		switch {
+		case lv.Less(rv):
+			li++
+		case rv.Less(lv):
+			ri++
+		default:
+			rEnd := ri
+			for rEnd < len(j.right) && j.right[rEnd][rCol].Equal(rv) {
+				rEnd++
+			}
+			for ; li < len(j.left) && j.left[li][lCol].Equal(lv); li++ {
+				for k := ri; k < rEnd; k++ {
+					joined := append(append(data.Tuple{}, j.left[li]...), j.right[k]...)
+					ok, err := EvalPred(j.pred, j.out, joined)
+					if err != nil {
+						return err
+					}
+					if ok {
+						j.queue = append(j.queue, joined)
+					}
+				}
+			}
+			ri = rEnd
+		}
+	}
+	j.li = 0
+	return nil
+}
+
+func (j *mergeJoinIter) Next() (data.Tuple, bool, error) {
+	if j.li >= len(j.queue) {
+		return nil, false, nil
+	}
+	t := j.queue[j.li]
+	j.li++
+	return t, true, nil
+}
+
+func (j *mergeJoinIter) Close() error { return nil }
+
+// equiKeys extracts the single equi-join term's attributes, oriented so
+// the first belongs to the left schema.
+func equiKeys(pred *core.Pred, left data.Schema) (l, r core.Attr, err error) {
+	var term *core.Pred
+	for _, t := range pred.Conjuncts() {
+		if t.IsEquiJoin() {
+			term = t
+			break
+		}
+	}
+	if term == nil {
+		return core.Attr{}, core.Attr{}, fmt.Errorf("exec: join predicate %v has no equi term", pred)
+	}
+	if _, ok := left.Col(term.Left); ok {
+		return term.Left, term.Right, nil
+	}
+	if _, ok := left.Col(term.Right); ok {
+		return term.Right, term.Left, nil
+	}
+	return core.Attr{}, core.Attr{}, fmt.Errorf("exec: equi term %v matches neither input", term)
+}

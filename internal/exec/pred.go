@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"fmt"
+
+	"prairie/internal/core"
+	"prairie/internal/data"
+)
+
+// EvalPred evaluates a descriptor predicate against a tuple.
+func EvalPred(p *core.Pred, s data.Schema, t data.Tuple) (bool, error) {
+	if p.IsTrue() {
+		return true, nil
+	}
+	switch p.Op {
+	case core.PredAnd:
+		for _, k := range p.Kids {
+			ok, err := EvalPred(k, s, t)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case core.PredOr:
+		for _, k := range p.Kids {
+			ok, err := EvalPred(k, s, t)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case core.PredNot:
+		ok, err := EvalPred(p.Kids[0], s, t)
+		return !ok, err
+	}
+	// Comparison.
+	lc, ok := s.Col(p.Left)
+	if !ok {
+		return false, fmt.Errorf("exec: attribute %v not in schema", p.Left)
+	}
+	var cmp int
+	if p.AttrCmp {
+		rc, ok := s.Col(p.Right)
+		if !ok {
+			return false, fmt.Errorf("exec: attribute %v not in schema", p.Right)
+		}
+		l, r := t[lc], t[rc]
+		switch {
+		case l.Equal(r):
+			cmp = 0
+		case l.Less(r):
+			cmp = -1
+		default:
+			cmp = 1
+		}
+	} else {
+		var comparable bool
+		cmp, comparable = t[lc].CompareToValue(p.Const)
+		if !comparable {
+			return false, fmt.Errorf("exec: cannot compare %v with %v", t[lc], p.Const)
+		}
+	}
+	switch p.Op {
+	case core.PredEq:
+		return cmp == 0, nil
+	case core.PredNe:
+		return cmp != 0, nil
+	case core.PredLt:
+		return cmp < 0, nil
+	case core.PredLe:
+		return cmp <= 0, nil
+	case core.PredGt:
+		return cmp > 0, nil
+	case core.PredGe:
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("exec: unsupported predicate %v", p)
+}

@@ -1,0 +1,115 @@
+package oodb
+
+import (
+	"testing"
+
+	"prairie/internal/catalog"
+	"prairie/internal/core"
+)
+
+func TestHelperImplsTotal(t *testing.T) {
+	o := New(catalog.Generate(catalog.DefaultGen(2, 101, true)))
+	impls := o.HelperImpls()
+	// Every helper must tolerate default values (P2V taint tracing runs
+	// actions over defaults).
+	defaults := map[string][]core.Value{
+		"union":           {core.Attrs(nil), core.Attrs(nil)},
+		"contains_all":    {core.Attrs(nil), core.Attrs(nil)},
+		"attrs_eq":        {core.Attrs(nil), core.Attrs(nil)},
+		"and_pred":        {core.TruePred, core.TruePred},
+		"split_within":    {core.TruePred, core.Attrs(nil)},
+		"split_rest":      {core.TruePred, core.Attrs(nil)},
+		"refers_only":     {core.TruePred, core.Attrs(nil)},
+		"conj_count":      {core.TruePred},
+		"first_conj":      {core.TruePred},
+		"rest_conj":       {core.TruePred},
+		"is_assoc":        {core.TruePred, core.TruePred, core.Attrs(nil), core.Attrs(nil), core.Attrs(nil)},
+		"join_card":       {core.Float(0), core.Float(0), core.TruePred},
+		"sel_card":        {core.Float(0), core.TruePred},
+		"is_ref_join":     {core.TruePred, core.Attrs(nil), core.Attrs(nil)},
+		"ref_of":          {core.TruePred, core.Attrs(nil)},
+		"is_true_pred":    {core.TruePred},
+		"mat_attrs":       {core.Attrs(nil)},
+		"mat_card":        {core.Attrs(nil)},
+		"mat_size":        {core.Attrs(nil)},
+		"unnest_card":     {core.Float(0), core.Attrs(nil)},
+		"has_index":       {core.Attrs(nil)},
+		"has_probe_index": {core.Attrs(nil), core.TruePred},
+		"probe_order":     {core.Attrs(nil), core.TruePred},
+		"sweep_order":     {core.Attrs(nil), core.DontCareOrder},
+		"nlogn":           {core.Float(0)},
+		"order_within":    {core.DontCareOrder, core.Attrs(nil)},
+	}
+	for name, fn := range impls {
+		args, ok := defaults[name]
+		if !ok {
+			t.Errorf("helper %s missing from totality test", name)
+			continue
+		}
+		if _, err := fn(args); err != nil {
+			t.Errorf("helper %s failed on defaults: %v", name, err)
+		}
+	}
+	for name := range defaults {
+		if _, ok := impls[name]; !ok {
+			t.Errorf("helper %s not implemented", name)
+		}
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	if fileScanCost(64) != 64 {
+		t.Error("fileScanCost")
+	}
+	if indexScanCost(64, 4, true) != 16 {
+		t.Errorf("indexScanCost probe = %g", indexScanCost(64, 4, true))
+	}
+	if indexScanCost(64, 4, false) != 72 {
+		t.Errorf("indexScanCost sweep = %g", indexScanCost(64, 4, false))
+	}
+	if filterCost(10, 5) != 15 || projectCost(10, 5) != 15 {
+		t.Error("filter/project cost")
+	}
+	if hashJoinCost(1, 2, 3, 4) != 1+2+3+8 {
+		t.Error("hashJoinCost")
+	}
+	if pointerJoinCost(1, 4, 16) != 1+8+16 {
+		t.Error("pointerJoinCost")
+	}
+	if materializeCost(1, 4) != 17 {
+		t.Error("materializeCost")
+	}
+	if flattenCost(1, 8) != 9 {
+		t.Error("flattenCost")
+	}
+	// The Materialize / Pointer_join crossover: cheap chase for small
+	// inputs, batched join for large ones.
+	if !(materializeCost(0, 2) < pointerJoinCost(0, 2, 1024)) {
+		t.Error("Materialize should win for tiny inputs")
+	}
+	if !(pointerJoinCost(0, 4096, 64) < materializeCost(0, 4096)) {
+		t.Error("Pointer_join should win for large inputs")
+	}
+}
+
+func TestCanonAndHelpers(t *testing.T) {
+	p1 := core.EqConst(core.A("C2", "b"), core.Int(2))
+	p2 := core.EqConst(core.A("C1", "b"), core.Int(1))
+	c := canonAnd(p1, p2)
+	c2 := canonAnd(p2, p1)
+	if !c.Equal(c2) {
+		t.Error("canonAnd is not order-insensitive")
+	}
+	if !firstConj(c).Equal(firstConj(c2)) {
+		t.Error("firstConj unstable")
+	}
+	if len(restConj(c).Conjuncts()) != 1 {
+		t.Errorf("restConj = %v", restConj(c))
+	}
+	if !firstConj(core.TruePred).IsTrue() || !restConj(core.TruePred).IsTrue() {
+		t.Error("degenerate conjunct helpers")
+	}
+	if !restConj(p1).IsTrue() {
+		t.Error("restConj of single term should be TRUE")
+	}
+}

@@ -1,0 +1,428 @@
+package oodb
+
+import (
+	"prairie/internal/core"
+	"prairie/internal/volcano"
+)
+
+// VolcanoRules builds the hand-coded Volcano specification of the Open
+// OODB optimizer: 17 trans_rules, 9 impl_rules and one enforcer, with
+// the property classification stated explicitly and per-algorithm
+// support functions computing properties in place. It is the baseline
+// the Prairie-generated optimizer is measured against (§4.3).
+func (o *Opt) VolcanoRules() *volcano.RuleSet {
+	rs := volcano.NewRuleSet(o.Alg)
+	rs.SetPhys(o.Ord)
+	o.addTransRules(rs)
+	o.addImplRules(rs)
+	return rs
+}
+
+func (o *Opt) addTransRules(rs *volcano.RuleSet) {
+	v1, v2, v3 := core.PVar(1, "D1"), core.PVar(2, "D2"), core.PVar(3, "D3")
+
+	// --- JOIN space (2 rules). ------------------------------------------
+	rs.AddTrans(&volcano.TransRule{
+		Name: "join_commute",
+		LHS:  core.POp(o.JOIN, "DL", v1, v2),
+		RHS:  core.POp(o.JOIN, "DR", core.PVar(2, ""), core.PVar(1, "")),
+		Appl: func(b *volcano.TBinding) { b.D("DR").CopyFrom(b.D("DL")) },
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "join_assoc",
+		LHS: core.POp(o.JOIN, "DT",
+			core.POp(o.JOIN, "DB", v1, v2), v3),
+		RHS: core.POp(o.JOIN, "DT2",
+			core.PVar(1, ""),
+			core.POp(o.JOIN, "DB2", core.PVar(2, ""), core.PVar(3, ""))),
+		Cond: func(b *volcano.TBinding) bool {
+			all := canonAnd(b.D("DB").Pred(o.JP), b.D("DT").Pred(o.JP))
+			m, r := b.D("D2").AttrList(o.AT), b.D("D3").AttrList(o.AT)
+			inner, outer := splitPred(all, m.Union(r))
+			return len(inner.Attrs().Intersect(m)) > 0 &&
+				len(inner.Attrs().Intersect(r)) > 0 &&
+				len(outer.Attrs().Intersect(b.D("D1").AttrList(o.AT))) > 0
+		},
+		Appl: func(b *volcano.TBinding) {
+			all := canonAnd(b.D("DB").Pred(o.JP), b.D("DT").Pred(o.JP))
+			m, r := b.D("D2").AttrList(o.AT), b.D("D3").AttrList(o.AT)
+			inner, outer := splitPred(all, m.Union(r))
+			db2, dt2 := b.D("DB2"), b.D("DT2")
+			db2.Set(o.AT, m.Union(r))
+			db2.Set(o.JP, inner)
+			db2.SetFloat(o.NR, o.Cat.JoinCard(b.D("D2").Float(o.NR), b.D("D3").Float(o.NR), inner))
+			db2.SetFloat(o.TS, b.D("D2").Float(o.TS)+b.D("D3").Float(o.TS))
+			dt2.CopyFrom(b.D("DT"))
+			dt2.Set(o.JP, outer)
+		},
+	})
+
+	// --- SELECT space (7 rules + mat_pull_select). ------------------------
+	pushJoin := func(name string, left bool) {
+		side, other := "D1", "D2"
+		if !left {
+			side, other = "D2", "D1"
+		}
+		_ = other
+		rhsKids := []*core.PatNode{core.POp(o.SELECT, "DS", core.PVar(1, "")), core.PVar(2, "")}
+		if !left {
+			rhsKids = []*core.PatNode{core.PVar(1, ""), core.POp(o.SELECT, "DS", core.PVar(2, ""))}
+		}
+		rs.AddTrans(&volcano.TransRule{
+			Name: name,
+			LHS:  core.POp(o.SELECT, "DSEL", core.POp(o.JOIN, "DJ", v1, v2)),
+			RHS:  core.POp(o.JOIN, "DJ2", rhsKids...),
+			Cond: func(b *volcano.TBinding) bool {
+				return b.D("DSEL").Pred(o.SP).RefersOnlyTo(b.D(side).AttrList(o.AT))
+			},
+			Appl: func(b *volcano.TBinding) {
+				ds, dj2 := b.D("DS"), b.D("DJ2")
+				ds.CopyFrom(b.D(side))
+				ds.Set(o.SP, b.D("DSEL").Pred(o.SP))
+				ds.SetFloat(o.NR, o.Cat.SelectCard(b.D(side).Float(o.NR), b.D("DSEL").Pred(o.SP)))
+				dj2.CopyFrom(b.D("DJ"))
+				dj2.SetFloat(o.NR, b.D("DSEL").Float(o.NR))
+			},
+		})
+	}
+	pushJoin("select_push_join_left", true)
+	pushJoin("select_push_join_right", false)
+
+	rs.AddTrans(&volcano.TransRule{
+		Name: "select_split",
+		LHS:  core.POp(o.SELECT, "DS", v1),
+		RHS:  core.POp(o.SELECT, "DO", core.POp(o.SELECT, "DI", core.PVar(1, ""))),
+		Cond: func(b *volcano.TBinding) bool {
+			return len(b.D("DS").Pred(o.SP).Conjuncts()) >= 2
+		},
+		Appl: func(b *volcano.TBinding) {
+			p := b.D("DS").Pred(o.SP)
+			di, do := b.D("DI"), b.D("DO")
+			di.CopyFrom(b.D("DS"))
+			di.Set(o.SP, restConj(p))
+			di.SetFloat(o.NR, o.Cat.SelectCard(b.D("D1").Float(o.NR), restConj(p)))
+			do.CopyFrom(b.D("DS"))
+			do.Set(o.SP, firstConj(p))
+		},
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "select_merge",
+		LHS:  core.POp(o.SELECT, "DO", core.POp(o.SELECT, "DI", v1)),
+		RHS:  core.POp(o.SELECT, "DM", core.PVar(1, "")),
+		Appl: func(b *volcano.TBinding) {
+			dm := b.D("DM")
+			dm.CopyFrom(b.D("DO"))
+			dm.Set(o.SP, canonAnd(b.D("DO").Pred(o.SP), b.D("DI").Pred(o.SP)))
+		},
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "select_commute",
+		LHS:  core.POp(o.SELECT, "DO", core.POp(o.SELECT, "DI", v1)),
+		RHS:  core.POp(o.SELECT, "DO2", core.POp(o.SELECT, "DI2", core.PVar(1, ""))),
+		Appl: func(b *volcano.TBinding) {
+			di2, do2 := b.D("DI2"), b.D("DO2")
+			di2.CopyFrom(b.D("DI"))
+			di2.Set(o.SP, b.D("DO").Pred(o.SP))
+			di2.SetFloat(o.NR, o.Cat.SelectCard(b.D("D1").Float(o.NR), b.D("DO").Pred(o.SP)))
+			do2.CopyFrom(b.D("DO"))
+			do2.Set(o.SP, b.D("DI").Pred(o.SP))
+		},
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "select_into_ret",
+		LHS:  core.POp(o.SELECT, "DS", core.POp(o.RET, "DR", v1)),
+		RHS:  core.POp(o.RET, "DR2", core.PVar(1, "")),
+		Appl: func(b *volcano.TBinding) {
+			dr2 := b.D("DR2")
+			dr2.CopyFrom(b.D("DR"))
+			dr2.Set(o.SP, canonAnd(b.D("DR").Pred(o.SP), b.D("DS").Pred(o.SP)))
+			dr2.SetFloat(o.NR, b.D("DS").Float(o.NR))
+		},
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "select_push_mat",
+		LHS:  core.POp(o.SELECT, "DS", core.POp(o.MAT, "DM", v1)),
+		RHS:  core.POp(o.MAT, "DM2", core.POp(o.SELECT, "DS2", core.PVar(1, ""))),
+		Cond: func(b *volcano.TBinding) bool {
+			return b.D("DS").Pred(o.SP).RefersOnlyTo(b.D("D1").AttrList(o.AT))
+		},
+		Appl: func(b *volcano.TBinding) {
+			ds2, dm2 := b.D("DS2"), b.D("DM2")
+			ds2.CopyFrom(b.D("D1"))
+			ds2.Set(o.SP, b.D("DS").Pred(o.SP))
+			ds2.SetFloat(o.NR, o.Cat.SelectCard(b.D("D1").Float(o.NR), b.D("DS").Pred(o.SP)))
+			dm2.CopyFrom(b.D("DM"))
+			dm2.SetFloat(o.NR, b.D("DS").Float(o.NR))
+		},
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "mat_pull_select",
+		LHS:  core.POp(o.MAT, "DM", core.POp(o.SELECT, "DS", v1)),
+		RHS:  core.POp(o.SELECT, "DS2", core.POp(o.MAT, "DM2", core.PVar(1, ""))),
+		Appl: func(b *volcano.TBinding) {
+			dm2, ds2 := b.D("DM2"), b.D("DS2")
+			dm2.CopyFrom(b.D("DM"))
+			dm2.Set(o.AT, b.D("D1").AttrList(o.AT).Union(o.matTargetAttrs(b.D("DM").AttrList(o.MA))))
+			dm2.SetFloat(o.NR, b.D("D1").Float(o.NR))
+			ds2.CopyFrom(b.D("DM"))
+			ds2.Set(o.SP, b.D("DS").Pred(o.SP))
+		},
+	})
+
+	// --- MAT space (6 rules). ---------------------------------------------
+	matPushJoin := func(name string, left bool) {
+		side := "D1"
+		rhsKids := []*core.PatNode{core.POp(o.MAT, "DM2", core.PVar(1, "")), core.PVar(2, "")}
+		if !left {
+			side = "D2"
+			rhsKids = []*core.PatNode{core.PVar(1, ""), core.POp(o.MAT, "DM2", core.PVar(2, ""))}
+		}
+		rs.AddTrans(&volcano.TransRule{
+			Name: name,
+			LHS:  core.POp(o.MAT, "DM", core.POp(o.JOIN, "DJ", v1, v2)),
+			RHS:  core.POp(o.JOIN, "DJ2", rhsKids...),
+			Cond: func(b *volcano.TBinding) bool {
+				return b.D(side).AttrList(o.AT).ContainsAll(b.D("DM").AttrList(o.MA))
+			},
+			Appl: func(b *volcano.TBinding) {
+				ma := b.D("DM").AttrList(o.MA)
+				dm2, dj2 := b.D("DM2"), b.D("DJ2")
+				dm2.CopyFrom(b.D("DM"))
+				dm2.Set(o.AT, b.D(side).AttrList(o.AT).Union(o.matTargetAttrs(ma)))
+				dm2.SetFloat(o.NR, b.D(side).Float(o.NR))
+				dm2.SetFloat(o.TS, b.D(side).Float(o.TS)+o.matTargetSize(ma))
+				dj2.CopyFrom(b.D("DJ"))
+				dj2.Set(o.AT, b.D("DM").AttrList(o.AT))
+				dj2.SetFloat(o.TS, b.D("DJ").Float(o.TS)+o.matTargetSize(ma))
+			},
+		})
+	}
+	matPushJoin("mat_push_join_left", true)
+	matPushJoin("mat_push_join_right", false)
+
+	matPullJoin := func(name string, left bool) {
+		lhsKids := []*core.PatNode{core.POp(o.MAT, "DM", v1), v3}
+		inAttrs := func(b *volcano.TBinding) core.Attrs {
+			return b.D("D1").AttrList(o.AT).Union(b.D("D3").AttrList(o.AT))
+		}
+		if !left {
+			lhsKids = []*core.PatNode{v1, core.POp(o.MAT, "DM", v2)}
+			inAttrs = func(b *volcano.TBinding) core.Attrs {
+				return b.D("D1").AttrList(o.AT).Union(b.D("D2").AttrList(o.AT))
+			}
+		}
+		rhsKids := []*core.PatNode{core.PVar(1, ""), core.PVar(3, "")}
+		if !left {
+			rhsKids = []*core.PatNode{core.PVar(1, ""), core.PVar(2, "")}
+		}
+		rs.AddTrans(&volcano.TransRule{
+			Name: name,
+			LHS:  core.POp(o.JOIN, "DJ", lhsKids...),
+			RHS:  core.POp(o.MAT, "DM2", core.POp(o.JOIN, "DJ2", rhsKids...)),
+			Cond: func(b *volcano.TBinding) bool {
+				return b.D("DJ").Pred(o.JP).RefersOnlyTo(inAttrs(b))
+			},
+			Appl: func(b *volcano.TBinding) {
+				dj2, dm2 := b.D("DJ2"), b.D("DM2")
+				dj2.CopyFrom(b.D("DJ"))
+				dj2.Set(o.AT, inAttrs(b))
+				dj2.SetFloat(o.TS, b.D("DJ").Float(o.TS)-o.matTargetSize(b.D("DM").AttrList(o.MA)))
+				dm2.CopyFrom(b.D("DM"))
+				dm2.Set(o.AT, b.D("DJ").AttrList(o.AT))
+				dm2.SetFloat(o.NR, b.D("DJ").Float(o.NR))
+				dm2.SetFloat(o.TS, b.D("DJ").Float(o.TS))
+			},
+		})
+	}
+	matPullJoin("mat_pull_join_left", true)
+	matPullJoin("mat_pull_join_right", false)
+
+	rs.AddTrans(&volcano.TransRule{
+		Name: "mat_commute_mat",
+		LHS:  core.POp(o.MAT, "DO", core.POp(o.MAT, "DI", v1)),
+		RHS:  core.POp(o.MAT, "DO2", core.POp(o.MAT, "DI2", core.PVar(1, ""))),
+		Cond: func(b *volcano.TBinding) bool {
+			return !b.D("DI").AttrList(o.MA).Equal(b.D("DO").AttrList(o.MA)) &&
+				b.D("D1").AttrList(o.AT).ContainsAll(b.D("DO").AttrList(o.MA))
+		},
+		Appl: func(b *volcano.TBinding) {
+			di2, do2 := b.D("DI2"), b.D("DO2")
+			outerMA := b.D("DO").AttrList(o.MA)
+			di2.CopyFrom(b.D("DI"))
+			di2.Set(o.MA, outerMA)
+			di2.Set(o.AT, b.D("D1").AttrList(o.AT).Union(o.matTargetAttrs(outerMA)))
+			di2.SetFloat(o.TS, b.D("D1").Float(o.TS)+o.matTargetSize(outerMA))
+			do2.CopyFrom(b.D("DO"))
+			do2.Set(o.MA, b.D("DI").AttrList(o.MA))
+		},
+	})
+	rs.AddTrans(&volcano.TransRule{
+		Name: "join_to_mat",
+		LHS: core.POp(o.JOIN, "DJ",
+			v1, core.POp(o.RET, "DR", core.PVar(2, ""))),
+		RHS: core.POp(o.MAT, "DM", core.PVar(1, "")),
+		Cond: func(b *volcano.TBinding) bool {
+			_, ok := o.refAttrOfJoin(b.D("DJ").Pred(o.JP),
+				b.D("D1").AttrList(o.AT), b.D("DR").AttrList(o.AT))
+			return ok && b.D("DR").Pred(o.SP).IsTrue()
+		},
+		Appl: func(b *volcano.TBinding) {
+			ref, _ := o.refAttrOfJoin(b.D("DJ").Pred(o.JP),
+				b.D("D1").AttrList(o.AT), b.D("DR").AttrList(o.AT))
+			dm := b.D("DM")
+			dm.CopyFrom(b.D("DJ"))
+			dm.Set(o.MA, core.Attrs{ref})
+			dm.SetFloat(o.NR, b.D("D1").Float(o.NR))
+		},
+	})
+
+	// --- UNNEST space (exactly 1 rule). -----------------------------------
+	rs.AddTrans(&volcano.TransRule{
+		Name: "unnest_mat_commute",
+		LHS:  core.POp(o.UNNEST, "DU", core.POp(o.MAT, "DM", v1)),
+		RHS:  core.POp(o.MAT, "DM2", core.POp(o.UNNEST, "DU2", core.PVar(1, ""))),
+		Cond: func(b *volcano.TBinding) bool {
+			return b.D("D1").AttrList(o.AT).ContainsAll(b.D("DU").AttrList(o.UA))
+		},
+		Appl: func(b *volcano.TBinding) {
+			du2, dm2 := b.D("DU2"), b.D("DM2")
+			du2.CopyFrom(b.D("DU"))
+			du2.Set(o.AT, b.D("D1").AttrList(o.AT))
+			du2.SetFloat(o.NR, o.unnestCard(b.D("D1").Float(o.NR), b.D("DU").AttrList(o.UA)))
+			du2.SetFloat(o.TS, b.D("D1").Float(o.TS))
+			dm2.CopyFrom(b.D("DM"))
+			dm2.Set(o.AT, b.D("DU").AttrList(o.AT))
+			dm2.SetFloat(o.NR, b.D("DU").Float(o.NR))
+		},
+	})
+}
+
+func (o *Opt) addImplRules(rs *volcano.RuleSet) {
+	ps := o.Alg.Props
+	reqWith := func(ord core.Order) *core.Descriptor {
+		d := core.NewDescriptor(ps)
+		d.Set(o.Ord, ord)
+		return d
+	}
+	// Order-preserving unary algorithms propagate the requirement to
+	// their input; this helper builds their Pre hook.
+	passThroughPre := func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+		d := cx.OpDesc.Clone()
+		return d, []*core.Descriptor{reqWith(cx.OpDesc.Order(o.Ord))}
+	}
+
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "ret_file_scan", Op: o.RET, Alg: o.FileScan,
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, core.DontCareOrder)
+			return d, []*core.Descriptor{nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(fileScanCost(cx.In[0].Float(o.NR))))
+		},
+	})
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "ret_index_probe", Op: o.RET, Alg: o.IndexScan,
+		Cond: func(cx *volcano.ImplCtx) bool {
+			ix, ok := pickIndexAttr(cx.Kids[0].AttrList(o.IX), core.DontCareOrder, cx.OpDesc.Pred(o.SP))
+			return ok && indexUsable(ix, cx.OpDesc.Pred(o.SP))
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			ix, _ := pickIndexAttr(cx.Kids[0].AttrList(o.IX), core.DontCareOrder, cx.OpDesc.Pred(o.SP))
+			d.Set(o.Ord, core.OrderBy(ix))
+			return d, []*core.Descriptor{nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(indexScanCost(cx.In[0].Float(o.NR), d.Float(o.NR), true)))
+		},
+	})
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "ret_index_sweep", Op: o.RET, Alg: o.IndexScan,
+		Cond: func(cx *volcano.ImplCtx) bool {
+			return len(cx.Kids[0].AttrList(o.IX)) > 0
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			ix, _ := pickIndexAttr(cx.Kids[0].AttrList(o.IX), cx.OpDesc.Order(o.Ord), core.TruePred)
+			d.Set(o.Ord, core.OrderBy(ix))
+			return d, []*core.Descriptor{nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(indexScanCost(cx.In[0].Float(o.NR), d.Float(o.NR), false)))
+		},
+	})
+	orderPreserving := func(name string, op, alg *core.Operation, cost func(cx *volcano.ImplCtx, d *core.Descriptor) float64) {
+		rs.AddImpl(&volcano.ImplRule{
+			Name: name, Op: op, Alg: alg,
+			Pre: passThroughPre,
+			Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+				d.Set(o.Ord, cx.In[0].Order(o.Ord))
+				d.Set(o.C, core.Cost(cost(cx, d)))
+			},
+		})
+	}
+	orderPreserving("select_filter", o.SELECT, o.Filter,
+		func(cx *volcano.ImplCtx, d *core.Descriptor) float64 {
+			return filterCost(cx.In[0].Float(o.C), cx.In[0].Float(o.NR))
+		})
+	orderPreserving("project_project", o.PROJECT, o.Proj,
+		func(cx *volcano.ImplCtx, d *core.Descriptor) float64 {
+			return projectCost(cx.In[0].Float(o.C), cx.In[0].Float(o.NR))
+		})
+	orderPreserving("mat_materialize", o.MAT, o.Materialize,
+		func(cx *volcano.ImplCtx, d *core.Descriptor) float64 {
+			return materializeCost(cx.In[0].Float(o.C), cx.In[0].Float(o.NR))
+		})
+	orderPreserving("unnest_flatten", o.UNNEST, o.Flatten,
+		func(cx *volcano.ImplCtx, d *core.Descriptor) float64 {
+			return flattenCost(cx.In[0].Float(o.C), d.Float(o.NR))
+		})
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "join_hash_join", Op: o.JOIN, Alg: o.HashJoin,
+		Cond: func(cx *volcano.ImplCtx) bool {
+			return len(cx.OpDesc.Pred(o.JP).Conjuncts()) >= 1
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, core.DontCareOrder)
+			return d, []*core.Descriptor{nil, nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(hashJoinCost(
+				cx.In[0].Float(o.C), cx.In[1].Float(o.C),
+				cx.In[0].Float(o.NR), cx.In[1].Float(o.NR))))
+		},
+	})
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "mat_pointer_join", Op: o.MAT, Alg: o.PointerJoin,
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, core.DontCareOrder)
+			return d, []*core.Descriptor{nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(pointerJoinCost(
+				cx.In[0].Float(o.C), cx.In[0].Float(o.NR),
+				o.matTargetCard(cx.OpDesc.AttrList(o.MA)))))
+		},
+	})
+
+	rs.AddEnforcer(&volcano.Enforcer{
+		Name: "sort_merge_sort", Alg: o.MergeSort, Props: []core.PropID{o.Ord},
+		Cond: func(cx *volcano.ImplCtx) bool {
+			ord := cx.Req.Order(o.Ord)
+			return cx.Req.Has(o.Ord) && !ord.IsDontCare() &&
+				ord.Within(cx.OpDesc.AttrList(o.AT))
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, *core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, cx.Req.Order(o.Ord))
+			return d, core.NewDescriptor(ps)
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(mergeSortCost(cx.In[0].Float(o.C), d.Float(o.NR))))
+		},
+	})
+}

@@ -1,0 +1,177 @@
+package p2v
+
+import (
+	"prairie/internal/core"
+	"prairie/internal/volcano"
+)
+
+// irShape caches the positional structure of an I-rule needed to build
+// engine hooks: descriptor names of both sides and the mapping from
+// right-side input positions to left-side input positions.
+type irShape struct {
+	lhsRoot string
+	rhsRoot string
+	lhsKid  []string // descriptor name of LHS input i ("" if none)
+	rhsKid  []string // descriptor name, indexed by LHS input position
+}
+
+func shapeOf(r *core.IRule) irShape {
+	sh := irShape{lhsRoot: r.LHS.Desc, rhsRoot: r.RHS.Desc}
+	varToIdx := map[int]int{}
+	for i, k := range r.LHS.Kids {
+		sh.lhsKid = append(sh.lhsKid, k.Desc)
+		varToIdx[k.Var] = i
+	}
+	sh.rhsKid = make([]string, len(r.LHS.Kids))
+	for _, k := range r.RHS.Kids {
+		if idx, ok := varToIdx[k.Var]; ok {
+			sh.rhsKid[idx] = k.Desc
+		}
+	}
+	return sh
+}
+
+// condBinding binds the left side's descriptors for the test stage:
+// the operator's descriptor (with required properties merged) and the
+// input groups' representative descriptors. The binding is cached on the
+// context so the Pre stage reuses the Cond stage's work.
+func (sh irShape) condBinding(ps *core.PropertySet, cx *volcano.ImplCtx) *core.Binding {
+	if b, ok := cx.Scratch.(*core.Binding); ok {
+		return b
+	}
+	b := core.NewBinding(ps)
+	cx.Scratch = b
+	b.Bind(sh.lhsRoot, cx.OpDesc)
+	for i, name := range sh.lhsKid {
+		if name == "" {
+			continue
+		}
+		if i < len(cx.Kids) && cx.Kids[i] != nil {
+			b.Bind(name, cx.Kids[i])
+		} else {
+			// Enforcer context: the input is the same equivalence
+			// class; its logical descriptor is the operator's.
+			b.Bind(name, cx.OpDesc)
+		}
+	}
+	return b
+}
+
+// postBinding binds both sides' descriptors for the post-opt stage: the
+// optimized inputs' winner descriptors stand in for the input stream
+// descriptors of both sides (their costs are now known, §2.4).
+func (sh irShape) postBinding(ps *core.PropertySet, cx *volcano.ImplCtx, algD *core.Descriptor) *core.Binding {
+	b := core.NewBinding(ps)
+	b.Bind(sh.lhsRoot, cx.OpDesc)
+	b.Bind(sh.rhsRoot, algD)
+	for i := range sh.lhsKid {
+		var in *core.Descriptor
+		if i < len(cx.In) {
+			in = cx.In[i]
+		}
+		if in == nil {
+			continue
+		}
+		if sh.lhsKid[i] != "" {
+			b.Bind(sh.lhsKid[i], in)
+		}
+		if sh.rhsKid[i] != "" {
+			b.Bind(sh.rhsKid[i], in)
+		}
+	}
+	return b
+}
+
+// makeImpl generates a Volcano impl_rule from a Prairie I-rule. The
+// generated hooks realize Table 4(b) of the paper: the I-rule's test
+// becomes cond_code, its pre-opt statements generate "do_any_good" and
+// "get_input_pv", its post-opt statements generate "derive_phy_prop" and
+// "cost".
+func makeImpl(rs *core.RuleSet, r *core.IRule, alias map[*core.Operation]*core.Operation) *volcano.ImplRule {
+	ps := rs.Algebra.Props
+	sh := shapeOf(r)
+	op := r.Op()
+	if to, ok := alias[op]; ok {
+		op = to
+	}
+	return &volcano.ImplRule{
+		Name: r.Name,
+		Op:   op,
+		Alg:  r.Alg(),
+		Cond: func(cx *volcano.ImplCtx) bool {
+			return r.RunTest(sh.condBinding(ps, cx))
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			b := sh.condBinding(ps, cx)
+			if r.PreOpt != nil {
+				r.PreOpt(b)
+			}
+			algD := b.D(sh.rhsRoot)
+			inReq := make([]*core.Descriptor, len(sh.rhsKid))
+			for i, name := range sh.rhsKid {
+				if name != "" && b.Bound(name) {
+					inReq[i] = b.D(name)
+				}
+			}
+			return algD, inReq
+		},
+		Post: func(cx *volcano.ImplCtx, algD *core.Descriptor) {
+			if r.PostOpt != nil {
+				r.PostOpt(sh.postBinding(ps, cx, algD))
+			}
+		},
+	}
+}
+
+// makeEnforcer generates a Volcano enforcer from a Prairie I-rule on an
+// enforcer-operator. props are the physical properties the operator's
+// Null rule propagates — the properties this enforcer establishes.
+func makeEnforcer(rs *core.RuleSet, r *core.IRule, props []core.PropID) *volcano.Enforcer {
+	ps := rs.Algebra.Props
+	sh := shapeOf(r)
+	return &volcano.Enforcer{
+		Name:  r.Name,
+		Alg:   r.Alg(),
+		Props: props,
+		Cond: func(cx *volcano.ImplCtx) bool {
+			// Applicable only when some enforced property is actually
+			// requested, and the I-rule's own test passes (e.g.
+			// Merge_sort's "tuple_order != DONT_CARE", Figure 5).
+			requested := false
+			for _, p := range props {
+				if cx.Req.Has(p) && !cx.Req.Get(p).IsDontCare() {
+					requested = true
+					break
+				}
+			}
+			if !requested {
+				return false
+			}
+			return r.RunTest(sh.condBinding(ps, cx))
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, *core.Descriptor) {
+			b := sh.condBinding(ps, cx)
+			if r.PreOpt != nil {
+				r.PreOpt(b)
+			}
+			algD := b.D(sh.rhsRoot)
+			var inReq *core.Descriptor
+			if len(sh.rhsKid) == 1 && sh.rhsKid[0] != "" && b.Bound(sh.rhsKid[0]) {
+				inReq = b.D(sh.rhsKid[0])
+				// Relax the enforced properties: the input may arrive in
+				// any state of the property this algorithm establishes.
+				for _, p := range props {
+					inReq.Set(p, core.DefaultValue(ps.At(p).Kind))
+				}
+			} else {
+				inReq = core.NewDescriptor(ps)
+			}
+			return algD, inReq
+		},
+		Post: func(cx *volcano.ImplCtx, algD *core.Descriptor) {
+			if r.PostOpt != nil {
+				r.PostOpt(sh.postBinding(ps, cx, algD))
+			}
+		},
+	}
+}

@@ -1,0 +1,481 @@
+package p2v
+
+import (
+	"strings"
+	"testing"
+
+	"prairie/internal/core"
+	"prairie/internal/volcano"
+)
+
+// specWorld builds a compact Prairie rule set exercising every P2V
+// feature: an enforcer-operator (SORT) with a Null rule, an
+// enforcer-introduction T-rule that merges away (JOIN => JOPR), and
+// physical-property assignments in pre-opt sections.
+type specWorld struct {
+	alg        *core.Algebra
+	rs         *core.RuleSet
+	ord, nr, c core.PropID
+	join, jopr *core.Operation
+	sort, ret  *core.Operation
+	nl, ms, fs *core.Operation
+	nullAlg    *core.Operation
+}
+
+func newSpecWorld() *specWorld {
+	w := &specWorld{}
+	a := core.NewAlgebra("spec")
+	w.alg = a
+	w.ord = a.Props.Define("tuple_order", core.KindOrder)
+	w.nr = a.Props.Define("num_records", core.KindFloat)
+	w.c = a.Props.Define("cost", core.KindCost)
+	w.ret = a.Operator("RET", 1)
+	w.join = a.Operator("JOIN", 2)
+	w.jopr = a.Operator("JOPR", 2)
+	w.sort = a.Operator("SORT", 1)
+	w.fs = a.Algorithm("File_scan", 1)
+	w.nl = a.Algorithm("Nested_loops", 2)
+	w.ms = a.Algorithm("Merge_sort", 1)
+	w.nullAlg = a.Null()
+
+	rs := core.NewRuleSet(a)
+	w.rs = rs
+	rs.AddT(&core.TRule{
+		Name: "join_to_jopr",
+		LHS:  core.POp(w.join, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS: core.POp(w.jopr, "D6",
+			core.POp(w.sort, "D4", core.PVar(1, "")),
+			core.POp(w.sort, "D5", core.PVar(2, ""))),
+		PostTest: func(b *core.Binding) { b.D("D6").CopyFrom(b.D("D3")) },
+	})
+	rs.AddT(&core.TRule{
+		Name:     "join_commute",
+		LHS:      core.POp(w.join, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS:      core.POp(w.join, "D4", core.PVar(2, ""), core.PVar(1, "")),
+		PostTest: func(b *core.Binding) { b.D("D4").CopyFrom(b.D("D3")) },
+	})
+	rs.AddI(&core.IRule{
+		Name: "ret_file_scan",
+		LHS:  core.POp(w.ret, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(w.fs, "D3", core.PVar(1, "")),
+		PreOpt: func(b *core.Binding) {
+			d := b.D("D3")
+			d.CopyFrom(b.D("D2"))
+			d.Set(w.ord, core.DontCareOrder)
+		},
+		PostOpt: func(b *core.Binding) {
+			b.D("D3").Set(w.c, core.Cost(b.D("D1").Float(w.nr)))
+		},
+	})
+	rs.AddI(&core.IRule{
+		Name: "jopr_nested_loops",
+		LHS:  core.POp(w.jopr, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS:  core.POp(w.nl, "D5", core.PVar(1, "D4"), core.PVar(2, "")),
+		PreOpt: func(b *core.Binding) {
+			b.D("D5").CopyFrom(b.D("D3"))
+			b.D("D4").CopyFrom(b.D("D1"))
+			b.D("D4").Set(w.ord, b.D("D3").Order(w.ord))
+		},
+		PostOpt: func(b *core.Binding) {
+			b.D("D5").Set(w.c, core.Cost(
+				b.D("D4").Float(w.c)+b.D("D4").Float(w.nr)*b.D("D2").Float(w.c)))
+		},
+	})
+	rs.AddI(&core.IRule{
+		Name: "sort_merge_sort",
+		LHS:  core.POp(w.sort, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(w.ms, "D3", core.PVar(1, "")),
+		Test: func(b *core.Binding) bool { return !b.D("D2").Order(w.ord).IsDontCare() },
+		PreOpt: func(b *core.Binding) {
+			b.D("D3").CopyFrom(b.D("D2"))
+		},
+		PostOpt: func(b *core.Binding) {
+			b.D("D3").Set(w.c, core.Cost(b.D("D1").Float(w.c)+b.D("D3").Float(w.nr)))
+		},
+	})
+	rs.AddI(&core.IRule{
+		Name: "sort_null",
+		LHS:  core.POp(w.sort, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(w.nullAlg, "D4", core.PVar(1, "D3")),
+		PreOpt: func(b *core.Binding) {
+			b.D("D4").CopyFrom(b.D("D2"))
+			b.D("D3").CopyFrom(b.D("D1"))
+			b.D("D3").Set(w.ord, b.D("D2").Order(w.ord))
+		},
+		PostOpt: func(b *core.Binding) {
+			b.D("D4").Set(w.c, core.Cost(b.D("D3").Float(w.c)))
+		},
+	})
+	return w
+}
+
+func TestTranslateSpecWorld(t *testing.T) {
+	w := newSpecWorld()
+	vrs, rep, err := Translate(w.rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrs.Trans) != 1 || vrs.Trans[0].Name != "join_commute" {
+		t.Errorf("trans = %v", vrs.Trans)
+	}
+	if len(vrs.Impls) != 2 {
+		t.Errorf("impls = %d", len(vrs.Impls))
+	}
+	// The JOPR impl rule now targets JOIN.
+	for _, r := range vrs.Impls {
+		if r.Name == "jopr_nested_loops" && r.Op != w.join {
+			t.Errorf("jopr rule targets %v", r.Op)
+		}
+	}
+	if len(vrs.Enforcers) != 1 || vrs.Enforcers[0].Alg != w.ms {
+		t.Errorf("enforcers = %v", vrs.Enforcers)
+	}
+	if got := vrs.Enforcers[0].Props; len(got) != 1 || got[0] != w.ord {
+		t.Errorf("enforced props = %v", got)
+	}
+	if rep.Aliases["JOPR"] != "JOIN" {
+		t.Errorf("aliases = %v", rep.Aliases)
+	}
+	if !vrs.Class.IsPhys(w.ord) {
+		t.Error("tuple_order not physical")
+	}
+	if vrs.Class.Cost != w.c {
+		t.Error("cost not classified")
+	}
+	if !vrs.Class.IsArg(w.nr) {
+		t.Error("num_records should be an argument property")
+	}
+}
+
+func TestTranslateRejectsInvalidRuleSet(t *testing.T) {
+	a := core.NewAlgebra("bad")
+	a.Props.Define("cost", core.KindCost)
+	a.Operator("RET", 1) // no I-rule
+	rs := core.NewRuleSet(a)
+	if _, _, err := Translate(rs); err == nil {
+		t.Error("invalid rule set accepted")
+	}
+}
+
+func TestTranslateRequiresCost(t *testing.T) {
+	a := core.NewAlgebra("nocost")
+	a.Operator("RET", 1)
+	fs := a.Algorithm("File_scan", 1)
+	rs := core.NewRuleSet(a)
+	rs.AddI(&core.IRule{
+		Name: "r",
+		LHS:  core.POp(a.MustOp("RET"), "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(fs, "D3", core.PVar(1, "")),
+	})
+	if _, _, err := Translate(rs); err == nil || !strings.Contains(err.Error(), "COST") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestActionHintsOverrideTracing(t *testing.T) {
+	w := newSpecWorld()
+	// Replace the nested-loops rule with one whose pre-opt is opaque
+	// (e.g. a non-assignment statement) but declares hints, the paper's
+	// footnote 3 mechanism.
+	for _, r := range w.rs.IRules {
+		if r.Name == "jopr_nested_loops" {
+			r.Hints = &core.ActionHints{PreWrites: []string{"D5.*", "D4.*", "D4.tuple_order"}}
+			r.PreOpt = func(b *core.Binding) {
+				// Same effect, but tracing is bypassed by the hints.
+				b.D("D5").CopyFrom(b.D("D3"))
+				b.D("D4").CopyFrom(b.D("D1"))
+				b.D("D4").Set(w.ord, b.D("D3").Order(w.ord))
+			}
+		}
+	}
+	vrs, _, err := Translate(w.rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vrs.Class.IsPhys(w.ord) {
+		t.Error("hinted physical property lost")
+	}
+}
+
+func TestWriteSetHelpers(t *testing.T) {
+	ws := newWriteSet()
+	ws.addProp("D4", 3)
+	ws.addProp("D4", 1)
+	ws.addProp("D5", 2)
+	if got := ws.propsOf("D4"); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("propsOf = %v", got)
+	}
+	if got := ws.propsOf("DX"); len(got) != 0 {
+		t.Errorf("propsOf missing = %v", got)
+	}
+}
+
+func TestActionWritesFromHints(t *testing.T) {
+	ps := core.NewPropertySet()
+	ord := ps.Define("tuple_order", core.KindOrder)
+	ws := actionWrites(ps, nil, []string{"D4.tuple_order", "D5.*", "bogus", "D6.missing"}, nil)
+	if got := ws.propsOf("D4"); len(got) != 1 || got[0] != ord {
+		t.Errorf("hinted props = %v", got)
+	}
+	if !ws.copies["D5"] {
+		t.Error("copy hint lost")
+	}
+	if len(ws.propsOf("D6")) != 0 {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestActionWritesTracing(t *testing.T) {
+	ps := core.NewPropertySet()
+	ord := ps.Define("tuple_order", core.KindOrder)
+	nr := ps.Define("num_records", core.KindFloat)
+	act := func(b *core.Binding) {
+		b.D("D3").CopyFrom(b.D("D1"))
+		b.D("D3").Set(ord, core.DontCareOrder)
+		b.D("D9").SetFloat(nr, b.D("D1").Float(nr)) // unknown name: ignored
+	}
+	ws := actionWrites(ps, act, nil, []string{"D1", "D3"})
+	if got := ws.propsOf("D3"); len(got) != 1 || got[0] != ord {
+		t.Errorf("traced props = %v", got)
+	}
+	if !ws.copies["D3"] {
+		t.Error("copy not traced")
+	}
+	if len(ws.propsOf("D9")) != 0 {
+		t.Error("write to unbound descriptor traced")
+	}
+	if len(ws.propsOf("D1")) != 0 {
+		t.Error("reads misrecorded as writes")
+	}
+}
+
+func TestDeleteEnforcerNodes(t *testing.T) {
+	w := newSpecWorld()
+	isEnf := func(op *core.Operation) bool { return op == w.sort }
+	// JOPR(SORT(?1):D4, SORT(?2):D5):D6 -> JOPR(?1:D4, ?2:D5):D6
+	p := core.POp(w.jopr, "D6",
+		core.POp(w.sort, "D4", core.PVar(1, "")),
+		core.POp(w.sort, "D5", core.PVar(2, "")))
+	got := deleteEnforcerNodes(p, isEnf)
+	if got.String() != "JOPR(?1:D4, ?2:D5):D6" {
+		t.Errorf("rewritten = %s", got)
+	}
+	// SORT at the root with a var child reduces to the variable.
+	root := core.POp(w.sort, "D2", core.PVar(1, "D1"))
+	if got := deleteEnforcerNodes(root, isEnf); !got.IsVar() {
+		t.Errorf("root SORT not deleted: %s", got)
+	}
+	// A pattern without enforcer nodes is returned unchanged (same node).
+	q := core.POp(w.join, "D3", core.PVar(1, ""), core.PVar(2, ""))
+	if deleteEnforcerNodes(q, isEnf) != q {
+		t.Error("untouched pattern was copied")
+	}
+	// The child's existing descriptor name wins over the deleted node's.
+	named := core.POp(w.sort, "D4", core.PVar(1, "D1"))
+	if got := deleteEnforcerNodes(named, isEnf); got.Desc != "D1" {
+		t.Errorf("descriptor = %s", got.Desc)
+	}
+}
+
+func TestShapeEqualModuloRoot(t *testing.T) {
+	w := newSpecWorld()
+	a := core.POp(w.join, "DA", core.PVar(1, ""), core.PVar(2, ""))
+	b := core.POp(w.jopr, "DB", core.PVar(1, ""), core.PVar(2, ""))
+	same, differ := shapeEqualModuloRoot(a, b)
+	if !same || !differ {
+		t.Errorf("JOIN vs JOPR: same=%v differ=%v", same, differ)
+	}
+	c := core.POp(w.join, "DC", core.PVar(2, ""), core.PVar(1, ""))
+	if same, _ := shapeEqualModuloRoot(a, c); same {
+		t.Error("swapped variables considered same shape")
+	}
+	same, differ = shapeEqualModuloRoot(a, a)
+	if !same || differ {
+		t.Error("identical patterns misjudged")
+	}
+	deep := core.POp(w.join, "DD",
+		core.POp(w.join, "DE", core.PVar(1, ""), core.PVar(2, "")),
+		core.PVar(3, ""))
+	if same, _ := shapeEqualModuloRoot(a, deep); same {
+		t.Error("different arity shapes considered same")
+	}
+}
+
+func TestResolveAliasChains(t *testing.T) {
+	w := newSpecWorld()
+	x := w.alg.Operator("X", 2)
+	alias := map[*core.Operation]*core.Operation{
+		w.jopr: x,
+		x:      w.join,
+	}
+	resolveAliases(alias)
+	if alias[w.jopr] != w.join || alias[x] != w.join {
+		t.Errorf("alias resolution failed: %v", alias)
+	}
+}
+
+func TestSubstAliases(t *testing.T) {
+	w := newSpecWorld()
+	alias := map[*core.Operation]*core.Operation{w.jopr: w.join}
+	p := core.POp(w.jopr, "D6",
+		core.POp(w.jopr, "D4", core.PVar(1, ""), core.PVar(2, "")),
+		core.PVar(3, ""))
+	got := substAliases(p, alias)
+	for _, op := range got.Ops() {
+		if op == w.jopr {
+			t.Error("alias not substituted")
+		}
+	}
+	// Unchanged pattern returns the same node.
+	q := core.POp(w.join, "D3", core.PVar(1, ""), core.PVar(2, ""))
+	if substAliases(q, alias) != q {
+		t.Error("clean pattern copied")
+	}
+	if substAliases(q, nil) != q {
+		t.Error("empty alias map copied")
+	}
+}
+
+func TestPrepareQueryNilTree(t *testing.T) {
+	rep := &Report{}
+	if _, _, err := rep.PrepareQuery(nil, nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	w := newSpecWorld()
+	_, rep, err := Translate(w.rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{
+		"cost:      cost",
+		"physical:  tuple_order",
+		"enforcer-operator SORT",
+		"alias: JOPR => JOIN",
+		"I-rule sort_merge_sort became an enforcer",
+		"2 T-rules, 4 I-rules  =>  1 trans_rules, 2 impl_rules, 1 enforcers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportNoEnforcers(t *testing.T) {
+	a := core.NewAlgebra("plain")
+	a.Props.Define("cost", core.KindCost)
+	ret := a.Operator("RET", 1)
+	fs := a.Algorithm("File_scan", 1)
+	rs := core.NewRuleSet(a)
+	rs.AddI(&core.IRule{
+		Name:    "fs",
+		LHS:     core.POp(ret, "D2", core.PVar(1, "D1")),
+		RHS:     core.POp(fs, "D3", core.PVar(1, "")),
+		PreOpt:  func(b *core.Binding) { b.D("D3").CopyFrom(b.D("D2")) },
+		PostOpt: func(b *core.Binding) { b.D("D3").Set(core.PropID(0), core.Cost(1)) },
+	})
+	_, rep, err := Translate(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "no enforcer-operators") {
+		t.Error("report should note absence of enforcers")
+	}
+	if len(rep.PhysProps) != 0 {
+		t.Errorf("phys props = %v", rep.PhysProps)
+	}
+}
+
+// TestGeneratedHooksOptimize drives the generated Volcano rule set
+// through an actual optimization, exercising the Cond/Pre/Post hooks and
+// the enforcer end to end within this package.
+func TestGeneratedHooksOptimize(t *testing.T) {
+	w := newSpecWorld()
+	vrs, rep, err := Translate(w.rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := func(name string, card float64) *core.Expr {
+		d := core.NewDescriptor(w.alg.Props)
+		d.SetFloat(w.nr, card)
+		d.Set(w.c, core.Cost(0))
+		return core.NewLeaf(name, d)
+	}
+	retOf := func(l *core.Expr) *core.Expr {
+		return core.NewNode(w.ret, l.D.Clone(), l)
+	}
+	jd := core.NewDescriptor(w.alg.Props)
+	jd.SetFloat(w.nr, 8*4)
+	join := core.NewNode(w.join, jd, retOf(leaf("R1", 8)), retOf(leaf("R2", 4)))
+	// Wrap in SORT: PrepareQuery must strip it into a requirement.
+	sd := jd.Clone()
+	sd.Set(w.ord, core.OrderBy(core.A("R1", "a")))
+	tree := core.NewNode(w.sort, sd, join)
+
+	prepared, req, err := rep.PrepareQuery(tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepared.Op != w.join {
+		t.Fatalf("SORT not stripped: %v", prepared)
+	}
+	if !req.Order(w.ord).Equal(core.OrderBy(core.A("R1", "a"))) {
+		t.Fatalf("requirement = %v", req.Order(w.ord))
+	}
+	opt := volcano.NewOptimizer(vrs)
+	plan, err := opt.Optimize(prepared, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := plan.Algorithms()
+	found := false
+	for _, a := range algs {
+		if a == "Merge_sort" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("enforcer algorithm missing from plan %s", plan)
+	}
+	if opt.Stats.EnfFired["sort_merge_sort"] == 0 {
+		t.Error("generated enforcer never fired")
+	}
+	// Winner cost: scans (8+4) + nested loops (8*4 inner scans... cost
+	// formula c4 + n4*c2) plus the sort; just assert it is positive and
+	// the order satisfied.
+	if plan.Cost(vrs.Class) <= 0 {
+		t.Error("non-positive cost")
+	}
+	if !plan.D.Order(w.ord).Satisfies(core.OrderBy(core.A("R1", "a"))) {
+		t.Errorf("order %v does not satisfy requirement", plan.D.Order(w.ord))
+	}
+	// A second optimization without requirement skips the enforcer.
+	opt2 := volcano.NewOptimizer(vrs)
+	plan2, err := opt2.Optimize(prepared.Clone(), core.NewDescriptor(w.alg.Props))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Cost(vrs.Class) > plan.Cost(vrs.Class) {
+		t.Error("unconstrained plan costs more than constrained one")
+	}
+}
+
+func TestPrepareQueryInteriorEnforcerRejected(t *testing.T) {
+	w := newSpecWorld()
+	_, rep, err := Translate(w.rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafD := core.NewDescriptor(w.alg.Props)
+	sorted := core.NewNode(w.sort, leafD.Clone(),
+		core.NewNode(w.ret, leafD.Clone(), core.NewLeaf("R1", leafD.Clone())))
+	jd := core.NewDescriptor(w.alg.Props)
+	tree := core.NewNode(w.join, jd, sorted,
+		core.NewNode(w.ret, leafD.Clone(), core.NewLeaf("R2", leafD.Clone())))
+	if _, _, err := rep.PrepareQuery(tree, nil); err == nil {
+		t.Error("interior enforcer-operator accepted")
+	}
+}

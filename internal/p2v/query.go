@@ -1,0 +1,69 @@
+package p2v
+
+import (
+	"fmt"
+
+	"prairie/internal/core"
+)
+
+// PrepareQuery adapts an initialized Prairie operator tree for the
+// generated Volcano optimizer. Enforcer-operators do not exist in the
+// generated rule space (their algorithms became enforcers), so
+// enforcer-operator nodes at the root of the tree are stripped and their
+// enforced properties become part of the required physical-property
+// vector — exactly how a Volcano user expresses "the result must be
+// sorted". req may be nil. Enforcer-operator nodes below the root cannot
+// be expressed as requirements on interior groups and are rejected.
+func (rep *Report) PrepareQuery(tree *core.Expr, req *core.Descriptor) (*core.Expr, *core.Descriptor, error) {
+	if tree == nil {
+		return nil, nil, fmt.Errorf("p2v: nil query tree")
+	}
+	ps := tree.D.Props()
+	if req == nil {
+		req = core.NewDescriptor(ps)
+	} else {
+		req = req.Clone()
+	}
+	isEnf := map[string][]string{}
+	for _, op := range rep.EnforcerOperators {
+		isEnf[op] = rep.EnforcedProps[op]
+	}
+	// Peel enforcer-operators off the root chain.
+	for !tree.IsLeaf() {
+		props, ok := isEnf[tree.Op.Name]
+		if !ok {
+			break
+		}
+		for _, name := range props {
+			id, found := ps.Lookup(name)
+			if !found {
+				continue
+			}
+			if v := tree.D.Get(id); !v.IsDontCare() {
+				req.Set(id, v)
+			}
+		}
+		tree = tree.Kids[0]
+	}
+	// Reject enforcer-operators anywhere below.
+	var check func(e *core.Expr) error
+	check = func(e *core.Expr) error {
+		if !e.IsLeaf() {
+			if _, ok := isEnf[e.Op.Name]; ok {
+				return fmt.Errorf("p2v: enforcer-operator %s below the query root cannot be translated; express the requirement at the root", e.Op.Name)
+			}
+			for _, k := range e.Kids {
+				if err := check(k); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, k := range tree.Kids {
+		if err := check(k); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tree, req, nil
+}

@@ -1,0 +1,187 @@
+package prairielang
+
+import (
+	"errors"
+	"fmt"
+
+	"prairie/internal/core"
+)
+
+// HelperImpl is the Go implementation of a declared helper function.
+type HelperImpl func(args []core.Value) (core.Value, error)
+
+// Compile parses nothing — it takes a parsed specification, checks it,
+// and builds an executable core.RuleSet whose rule actions interpret the
+// specification's statement blocks. impls supplies the Go bodies of the
+// declared helper functions (every declared helper must be present).
+//
+// The compiler attaches exact write hints (core.ActionHints) to every
+// rule, computed statically from the statement blocks, so the P2V
+// pre-processor classifies properties without taint tracing.
+func Compile(spec *Spec, impls map[string]HelperImpl) (*core.RuleSet, error) {
+	c := newChecker(spec)
+	c.declare()
+
+	rs := core.NewRuleSet(c.alg)
+	for _, h := range c.spec.Helpers {
+		impl, ok := impls[h.Name]
+		if !ok {
+			c.errf(h.Pos, "helper %q has no Go implementation", h.Name)
+			continue
+		}
+		rs.Helpers.Define(h.Name, h.Params, h.Result, impl)
+	}
+	for name := range impls {
+		if c.helpers[name] == nil {
+			c.errs = append(c.errs, fmt.Errorf("prairielang: implementation for undeclared helper %q", name))
+		}
+	}
+
+	for _, d := range spec.TRules {
+		rs.AddT(c.compileTRule(d, rs.Helpers))
+	}
+	for _, d := range spec.IRules {
+		rs.AddI(c.compileIRule(d, rs.Helpers))
+	}
+	if len(c.errs) > 0 {
+		return nil, errors.Join(c.errs...)
+	}
+	if errs := rs.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return rs, nil
+}
+
+// ParseAndCompile is the convenience entry point: source to rule set.
+func ParseAndCompile(src string, impls map[string]HelperImpl) (*core.RuleSet, error) {
+	spec, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(spec, impls)
+}
+
+// Check parses and checks a specification without requiring helper
+// implementations; it returns every problem found. Used by prairiec's
+// -check mode.
+func Check(src string) []error {
+	spec, err := Parse(src)
+	if err != nil {
+		return []error{err}
+	}
+	c := newChecker(spec)
+	c.declare()
+	for _, d := range spec.TRules {
+		c.checkTRule(d)
+	}
+	for _, d := range spec.IRules {
+		c.checkIRule(d)
+	}
+	return c.errs
+}
+
+func (c *checker) checkTRule(d *TRuleDecl) (lhs, rhs *core.PatNode, sc ruleScope, pre, post []string) {
+	lhs = c.resolvePattern(d.LHS)
+	rhs = c.resolvePattern(d.RHS)
+	sc = scopeOf(lhs, rhs)
+	pre = c.checkStmts(d.PreTest, sc)
+	if d.Test != nil {
+		if got := c.checkExpr(d.Test, sc, core.KindBool); !kindsCompatible(got, core.KindBool) {
+			c.errf(d.Test.ExprPos(), "rule %s: test must be boolean, got %v", d.Name, got)
+		}
+	}
+	post = c.checkStmts(d.PostTest, sc)
+	return
+}
+
+func (c *checker) checkIRule(d *IRuleDecl) (lhs, rhs *core.PatNode, sc ruleScope, pre, post []string) {
+	lhs = c.resolvePattern(d.LHS)
+	rhs = c.resolvePattern(d.RHS)
+	sc = scopeOf(lhs, rhs)
+	if d.Test != nil {
+		if got := c.checkExpr(d.Test, sc, core.KindBool); !kindsCompatible(got, core.KindBool) {
+			c.errf(d.Test.ExprPos(), "rule %s: test must be boolean, got %v", d.Name, got)
+		}
+	}
+	pre = c.checkStmts(d.PreOpt, sc)
+	post = c.checkStmts(d.PostOpt, sc)
+	return
+}
+
+func (c *checker) compileTRule(d *TRuleDecl, helpers *core.Helpers) *core.TRule {
+	lhs, rhs, _, preW, postW := c.checkTRule(d)
+	r := &core.TRule{
+		Name:  d.Name,
+		LHS:   lhs,
+		RHS:   rhs,
+		Hints: &core.ActionHints{PreWrites: preW, PostWrites: postW},
+	}
+	if len(d.PreTest) > 0 {
+		stmts := d.PreTest
+		r.PreTest = func(b *core.Binding) { execStmts(stmts, b, helpers) }
+	}
+	if d.Test != nil {
+		test := d.Test
+		r.Test = func(b *core.Binding) bool { return evalBool(test, b, helpers) }
+	}
+	if len(d.PostTest) > 0 {
+		stmts := d.PostTest
+		r.PostTest = func(b *core.Binding) { execStmts(stmts, b, helpers) }
+	}
+	return r
+}
+
+func (c *checker) compileIRule(d *IRuleDecl, helpers *core.Helpers) *core.IRule {
+	lhs, rhs, _, preW, postW := c.checkIRule(d)
+	r := &core.IRule{
+		Name:  d.Name,
+		LHS:   lhs,
+		RHS:   rhs,
+		Hints: &core.ActionHints{PreWrites: preW, PostWrites: postW},
+	}
+	if d.Test != nil {
+		test := d.Test
+		r.Test = func(b *core.Binding) bool { return evalBool(test, b, helpers) }
+	}
+	if len(d.PreOpt) > 0 {
+		stmts := d.PreOpt
+		r.PreOpt = func(b *core.Binding) { execStmts(stmts, b, helpers) }
+	}
+	if len(d.PostOpt) > 0 {
+		stmts := d.PostOpt
+		r.PostOpt = func(b *core.Binding) { execStmts(stmts, b, helpers) }
+	}
+	return r
+}
+
+// ParseAndCompileAll compiles several specification sources as one rule
+// set — the modular composition of the paper's conclusion. The first
+// source typically declares the algebra; later modules contribute
+// additional operations, helpers, and rules (they reference earlier
+// declarations by name and must not re-declare them). Algebra names, when
+// given, must agree.
+func ParseAndCompileAll(srcs []string, impls map[string]HelperImpl) (*core.RuleSet, error) {
+	if len(srcs) == 0 {
+		return nil, errors.New("prairielang: no sources")
+	}
+	merged := &Spec{}
+	for i, src := range srcs {
+		spec, err := Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("prairielang: module %d: %w", i+1, err)
+		}
+		switch {
+		case merged.Name == "":
+			merged.Name = spec.Name
+		case spec.Name != "" && spec.Name != merged.Name:
+			return nil, fmt.Errorf("prairielang: module %d declares algebra %q, want %q",
+				i+1, spec.Name, merged.Name)
+		}
+		merged.Props = append(merged.Props, spec.Props...)
+		merged.Ops = append(merged.Ops, spec.Ops...)
+		merged.Helpers = append(merged.Helpers, spec.Helpers...)
+		merged.TRules = append(merged.TRules, spec.TRules...)
+		merged.IRules = append(merged.IRules, spec.IRules...)
+	}
+	return Compile(merged, impls)
+}

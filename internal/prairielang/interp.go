@@ -1,0 +1,205 @@
+package prairielang
+
+import (
+	"fmt"
+	"math"
+
+	"prairie/internal/core"
+)
+
+// evalError marks a runtime failure inside an interpreted rule action; it
+// is raised by panic because core.Action has no error channel, and a
+// failing action is a specification bug.
+type evalError struct{ err error }
+
+func evalPanic(pos Pos, format string, args ...interface{}) {
+	panic(evalError{errf(pos, format, args...)})
+}
+
+// execStmts runs a checked statement block against a binding.
+func execStmts(stmts []*Stmt, b *core.Binding, helpers *core.Helpers) {
+	for _, st := range stmts {
+		if st.Prop == "" {
+			b.D(st.Dst).CopyFrom(b.D(st.Src))
+			continue
+		}
+		id, ok := b.D(st.Dst).Props().Lookup(st.Prop)
+		if !ok {
+			evalPanic(st.Pos, "unknown property %q", st.Prop)
+		}
+		v := evalExpr(st.RHS, b, helpers)
+		b.D(st.Dst).Set(id, v)
+	}
+}
+
+// evalBool evaluates a checked test expression.
+func evalBool(e Expr, b *core.Binding, helpers *core.Helpers) bool {
+	v := evalExpr(e, b, helpers)
+	bv, ok := v.(core.Bool)
+	if !ok {
+		evalPanic(e.ExprPos(), "test did not evaluate to a boolean (got %v)", v.Kind())
+	}
+	return bool(bv)
+}
+
+// evalExpr evaluates a checked expression against a binding.
+func evalExpr(e Expr, b *core.Binding, helpers *core.Helpers) core.Value {
+	switch x := e.(type) {
+	case *NumLit:
+		return core.Float(x.Val)
+	case *StrLit:
+		return core.Str(x.Val)
+	case *BoolLit:
+		return core.Bool(x.Val)
+	case *DontCareLit:
+		return core.DefaultValue(x.Kind())
+	case *Member:
+		return b.D(x.Desc).Get(x.ID)
+	case *Call:
+		args := make([]core.Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = evalExpr(a, b, helpers)
+		}
+		v, err := helpers.Call(x.Name, args...)
+		if err != nil {
+			evalPanic(x.Pos, "helper %s: %v", x.Name, err)
+		}
+		return v
+	case *Unary:
+		v := evalExpr(x.X, b, helpers)
+		if x.Op == TokBang {
+			bv, ok := v.(core.Bool)
+			if !ok {
+				evalPanic(x.Pos, "'!' on non-boolean %v", v.Kind())
+			}
+			return core.Bool(!bv)
+		}
+		return core.Float(-toFloat(v, x.Pos))
+	case *Binary:
+		return evalBinary(x, b, helpers)
+	}
+	panic(evalError{fmt.Errorf("prairielang: unknown expression %T", e)})
+}
+
+func evalBinary(x *Binary, b *core.Binding, helpers *core.Helpers) core.Value {
+	switch x.Op {
+	case TokAndAnd:
+		l, ok := evalExpr(x.L, b, helpers).(core.Bool)
+		if !ok {
+			evalPanic(x.Pos, "'&&' on non-boolean")
+		}
+		if !l {
+			return core.Bool(false)
+		}
+		r, ok := evalExpr(x.R, b, helpers).(core.Bool)
+		if !ok {
+			evalPanic(x.Pos, "'&&' on non-boolean")
+		}
+		return r
+	case TokOrOr:
+		l, ok := evalExpr(x.L, b, helpers).(core.Bool)
+		if !ok {
+			evalPanic(x.Pos, "'||' on non-boolean")
+		}
+		if l {
+			return core.Bool(true)
+		}
+		r, ok := evalExpr(x.R, b, helpers).(core.Bool)
+		if !ok {
+			evalPanic(x.Pos, "'||' on non-boolean")
+		}
+		return r
+	}
+	l := evalExpr(x.L, b, helpers)
+	r := evalExpr(x.R, b, helpers)
+	switch x.Op {
+	case TokEq:
+		return core.Bool(valuesEqual(l, r))
+	case TokNe:
+		return core.Bool(!valuesEqual(l, r))
+	case TokLt, TokLe, TokGt, TokGe:
+		if ls, ok := l.(core.Str); ok {
+			rs, ok := r.(core.Str)
+			if !ok {
+				evalPanic(x.Pos, "cannot order %v against %v", l.Kind(), r.Kind())
+			}
+			return core.Bool(cmpOrder(x.Op, strCmp(string(ls), string(rs))))
+		}
+		lf, rf := toFloat(l, x.Pos), toFloat(r, x.Pos)
+		switch {
+		case lf < rf:
+			return core.Bool(cmpOrder(x.Op, -1))
+		case lf > rf:
+			return core.Bool(cmpOrder(x.Op, 1))
+		default:
+			return core.Bool(cmpOrder(x.Op, 0))
+		}
+	case TokPlus:
+		return core.Float(toFloat(l, x.Pos) + toFloat(r, x.Pos))
+	case TokMinus:
+		return core.Float(toFloat(l, x.Pos) - toFloat(r, x.Pos))
+	case TokStar:
+		return core.Float(toFloat(l, x.Pos) * toFloat(r, x.Pos))
+	case TokSlash:
+		d := toFloat(r, x.Pos)
+		if d == 0 {
+			return core.Float(math.Inf(1))
+		}
+		return core.Float(toFloat(l, x.Pos) / d)
+	}
+	evalPanic(x.Pos, "unknown operator")
+	return nil
+}
+
+// valuesEqual compares across the numeric kinds, falling back to Value
+// equality for everything else.
+func valuesEqual(l, r core.Value) bool {
+	if isNumeric(l) && isNumeric(r) {
+		return toFloat(l, Pos{}) == toFloat(r, Pos{})
+	}
+	return l.Equal(r)
+}
+
+func isNumeric(v core.Value) bool {
+	switch v.Kind() {
+	case core.KindFloat, core.KindCost, core.KindInt:
+		return true
+	}
+	return false
+}
+
+func toFloat(v core.Value, pos Pos) float64 {
+	switch x := v.(type) {
+	case core.Float:
+		return float64(x)
+	case core.Cost:
+		return float64(x)
+	case core.Int:
+		return float64(x)
+	}
+	evalPanic(pos, "numeric value required, got %v", v.Kind())
+	return 0
+}
+
+func strCmp(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOrder(op TokKind, c int) bool {
+	switch op {
+	case TokLt:
+		return c < 0
+	case TokLe:
+		return c <= 0
+	case TokGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}

@@ -1,0 +1,225 @@
+package prairielang
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer scans a Prairie specification into tokens. Comments run from
+// "//" to end of line or between "/*" and "*/".
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		switch {
+		case unicode.IsSpace(rune(l.peek())):
+			l.advance()
+		case l.peek() == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case l.peek() == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.off], Pos: pos}, nil
+	case c >= '0' && c <= '9':
+		start := l.off
+		for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '.') {
+			// A dot is part of the number only if a digit follows;
+			// otherwise it is member access after an integer (unused
+			// but kept unambiguous).
+			if l.peek() == '.' && !isDigit(l.peek2()) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		n, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad number %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: n, Pos: pos}, nil
+	case c == '?':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if start == l.off {
+			return Token{}, errf(pos, "'?' must be followed by a variable number")
+		}
+		v, _ := strconv.Atoi(l.src[start:l.off])
+		return Token{Kind: TokVar, Text: "?" + l.src[start:l.off], Var: v, Pos: pos}, nil
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) || l.peek() == '\n' {
+				return Token{}, errf(pos, "unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.off < len(l.src) {
+				ch = l.advance()
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+	}
+	l.advance()
+	two := func(second byte, ifTwo, ifOne TokKind) (Token, error) {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: ifTwo, Pos: pos}, nil
+		}
+		return Token{Kind: ifOne, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '=':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokArrow, Pos: pos}, nil
+		}
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokBang)
+	case '<':
+		return two('=', TokLe, TokLt)
+	case '>':
+		return two('=', TokGe, TokGt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '&'")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: TokOrOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '|'")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexAll scans the whole input; used by the parser.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package relopt
+
+import (
+	"prairie/internal/core"
+)
+
+// PrairieRules builds the Prairie specification of the relational
+// optimizer. It follows the paper's examples literally:
+//
+//   - join_commute and join_assoc (Figure 3) are ordinary T-rules;
+//   - join_to_jopr is the enforcer-introduction T-rule of footnote 5
+//     (JOIN => JOPR over SORTed inputs);
+//   - sort_merge_sort is Figure 5, join_nested_loops is Figure 6 (on
+//     JOPR, per footnote 5), sort_null is Figure 7(b).
+//
+// The P2V pre-processor deduces SORT as an enforcer-operator, merges
+// join_to_jopr away (aliasing JOPR to JOIN), turns sort_merge_sort into a
+// Volcano enforcer, and drops sort_null — yielding 2 trans_rules, 4
+// impl_rules and 1 enforcer.
+func (o *Opt) PrairieRules() *core.RuleSet {
+	rs := core.NewRuleSet(o.Alg)
+	o.defineHelpers(rs)
+	o.addTRules(rs)
+	o.addIRules(rs)
+	return rs
+}
+
+// defineHelpers registers the paper's helper functions so that the same
+// rule set can also be expressed in the Prairie language (the DSL
+// declares them; the Go closures below are their implementations).
+func (o *Opt) defineHelpers(rs *core.RuleSet) {
+	rs.Helpers.Define("union", []core.Kind{core.KindAttrs, core.KindAttrs}, core.KindAttrs,
+		func(args []core.Value) (core.Value, error) {
+			return args[0].(core.Attrs).Union(args[1].(core.Attrs)), nil
+		})
+	rs.Helpers.Define("cardinality", []core.Kind{core.KindFloat, core.KindFloat, core.KindPred}, core.KindFloat,
+		func(args []core.Value) (core.Value, error) {
+			l := float64(args[0].(core.Float))
+			r := float64(args[1].(core.Float))
+			return core.Float(o.Cat.JoinCard(l, r, args[2].(*core.Pred))), nil
+		})
+}
+
+func (o *Opt) addTRules(rs *core.RuleSet) {
+	// T-rule: join commutativity.
+	rs.AddT(&core.TRule{
+		Name: "join_commute",
+		LHS:  core.POp(o.JOIN, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS:  core.POp(o.JOIN, "D4", core.PVar(2, ""), core.PVar(1, "")),
+		PostTest: func(b *core.Binding) {
+			b.D("D4").CopyFrom(b.D("D3"))
+		},
+	})
+
+	// T-rule: join associativity (Figure 3). The pre-test computes the
+	// new inner join's attribute list; the test calls is_associative;
+	// the post-test computes the remaining annotations of both new
+	// nodes, using the cardinality helper.
+	rs.AddT(&core.TRule{
+		Name: "join_assoc",
+		LHS: core.POp(o.JOIN, "D5",
+			core.POp(o.JOIN, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+			core.PVar(3, "D4")),
+		RHS: core.POp(o.JOIN, "D7",
+			core.PVar(1, ""),
+			core.POp(o.JOIN, "D6", core.PVar(2, ""), core.PVar(3, ""))),
+		PreTest: func(b *core.Binding) {
+			b.D("D6").Set(o.AT, b.D("D2").AttrList(o.AT).Union(b.D("D4").AttrList(o.AT)))
+		},
+		Test: func(b *core.Binding) bool {
+			all := core.And(b.D("D3").Pred(o.JP), b.D("D5").Pred(o.JP))
+			_, _, ok := isAssociative(all,
+				b.D("D1").AttrList(o.AT), b.D("D2").AttrList(o.AT), b.D("D4").AttrList(o.AT))
+			return ok
+		},
+		PostTest: func(b *core.Binding) {
+			all := core.And(b.D("D3").Pred(o.JP), b.D("D5").Pred(o.JP))
+			inner, outer, _ := isAssociative(all,
+				b.D("D1").AttrList(o.AT), b.D("D2").AttrList(o.AT), b.D("D4").AttrList(o.AT))
+			d6, d7 := b.D("D6"), b.D("D7")
+			d6.Set(o.JP, inner)
+			d6.SetFloat(o.NR, o.Cat.JoinCard(b.D("D2").Float(o.NR), b.D("D4").Float(o.NR), inner))
+			d6.SetFloat(o.TS, b.D("D2").Float(o.TS)+b.D("D4").Float(o.TS))
+			d6.Set(o.Ord, core.DontCareOrder)
+			d7.CopyFrom(b.D("D5"))
+			d7.Set(o.JP, outer)
+		},
+	})
+
+	// T-rule: enforcer introduction (footnote 5): a JOIN can be computed
+	// as a JOPR over explicitly SORTed inputs. P2V deletes the SORT
+	// nodes (SORT is an enforcer-operator), detects the rule as an
+	// idempotent JOIN => JOPR mapping, drops it, and substitutes JOIN
+	// for JOPR everywhere.
+	rs.AddT(&core.TRule{
+		Name: "join_to_jopr",
+		LHS:  core.POp(o.JOIN, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS: core.POp(o.JOPR, "D6",
+			core.POp(o.SORT, "D4", core.PVar(1, "")),
+			core.POp(o.SORT, "D5", core.PVar(2, ""))),
+		PostTest: func(b *core.Binding) {
+			b.D("D6").CopyFrom(b.D("D3"))
+			b.D("D4").CopyFrom(b.D("D1"))
+			b.D("D5").CopyFrom(b.D("D2"))
+			if l, r, ok := orientEqui(b.D("D3").Pred(o.JP), b.D("D1").AttrList(o.AT)); ok {
+				b.D("D4").Set(o.Ord, core.OrderBy(l))
+				b.D("D5").Set(o.Ord, core.OrderBy(r))
+			}
+		},
+	})
+}
+
+func (o *Opt) addIRules(rs *core.RuleSet) {
+	// I-rule: RET => File_scan. A full scan delivers no useful order.
+	rs.AddI(&core.IRule{
+		Name: "ret_file_scan",
+		LHS:  core.POp(o.RET, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(o.FileScan, "D3", core.PVar(1, "")),
+		PreOpt: func(b *core.Binding) {
+			d3 := b.D("D3")
+			d3.CopyFrom(b.D("D2"))
+			d3.Set(o.Ord, core.DontCareOrder)
+		},
+		PostOpt: func(b *core.Binding) {
+			b.D("D3").Set(o.C, core.Cost(fileScanCost(b.D("D1").Float(o.NR))))
+		},
+	})
+
+	// I-rule: RET => Index_scan. Requires an index; delivers the index
+	// order, probing cheaply when the selection matches the index.
+	rs.AddI(&core.IRule{
+		Name: "ret_index_scan",
+		LHS:  core.POp(o.RET, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(o.IndexScan, "D3", core.PVar(1, "")),
+		Test: func(b *core.Binding) bool {
+			return len(b.D("D1").AttrList(o.IX)) > 0
+		},
+		PreOpt: func(b *core.Binding) {
+			d3 := b.D("D3")
+			d3.CopyFrom(b.D("D2"))
+			ix, ok := pickIndexAttr(b.D("D1").AttrList(o.IX), b.D("D2").Order(o.Ord), b.D("D2").Pred(o.SP))
+			if ok {
+				d3.Set(o.Ord, core.OrderBy(ix))
+			} else {
+				d3.Set(o.Ord, core.DontCareOrder)
+			}
+		},
+		PostOpt: func(b *core.Binding) {
+			d1, d3 := b.D("D1"), b.D("D3")
+			ix, _ := pickIndexAttr(d1.AttrList(o.IX), b.D("D2").Order(o.Ord), b.D("D2").Pred(o.SP))
+			usable := indexUsableForSelection(ix, b.D("D2").Pred(o.SP))
+			d3.Set(o.C, core.Cost(indexScanCost(d1.Float(o.NR), d3.Float(o.NR), usable)))
+		},
+	})
+
+	// I-rule: JOIN => Nested_loops (Figure 6, verbatim): the tuple order
+	// of Nested_loops is the order of its outer input, expressed by
+	// assigning the outer input's new descriptor in the pre-opt section.
+	rs.AddI(&core.IRule{
+		Name: "join_nested_loops",
+		LHS:  core.POp(o.JOIN, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS:  core.POp(o.NestedLoops, "D5", core.PVar(1, "D4"), core.PVar(2, "")),
+		PreOpt: func(b *core.Binding) {
+			b.D("D5").CopyFrom(b.D("D3"))
+			b.D("D4").CopyFrom(b.D("D1"))
+			b.D("D4").Set(o.Ord, b.D("D3").Order(o.Ord))
+		},
+		PostOpt: func(b *core.Binding) {
+			d4 := b.D("D4")
+			b.D("D5").Set(o.C, core.Cost(nestedLoopsCost(
+				d4.Float(o.C), d4.Float(o.NR), b.D("D2").Float(o.C))))
+		},
+	})
+
+	// I-rule: JOPR => Merge_join. In the Prairie specification the JOPR
+	// operator (introduced by join_to_jopr) is implemented by merge
+	// join; its sorted-input requirements are stated by assigning the
+	// input descriptors' tuple orders. After P2V aliases JOPR to JOIN,
+	// this becomes the JOIN => Merge_join impl_rule.
+	rs.AddI(&core.IRule{
+		Name: "jopr_merge_join",
+		LHS:  core.POp(o.JOPR, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS:  core.POp(o.MergeJoin, "D6", core.PVar(1, "D4"), core.PVar(2, "D5")),
+		Test: func(b *core.Binding) bool {
+			_, _, ok := orientEqui(b.D("D3").Pred(o.JP), b.D("D1").AttrList(o.AT))
+			return ok
+		},
+		PreOpt: func(b *core.Binding) {
+			d4, d5, d6 := b.D("D4"), b.D("D5"), b.D("D6")
+			d6.CopyFrom(b.D("D3"))
+			d4.CopyFrom(b.D("D1"))
+			d5.CopyFrom(b.D("D2"))
+			l, r, ok := orientEqui(b.D("D3").Pred(o.JP), b.D("D1").AttrList(o.AT))
+			if !ok {
+				// Unreachable after a passing test; keep the action
+				// total for P2V's taint tracing.
+				d4.Set(o.Ord, core.DontCareOrder)
+				d5.Set(o.Ord, core.DontCareOrder)
+				return
+			}
+			d4.Set(o.Ord, core.OrderBy(l))
+			d5.Set(o.Ord, core.OrderBy(r))
+			d6.Set(o.Ord, core.OrderBy(l))
+		},
+		PostOpt: func(b *core.Binding) {
+			d4, d5 := b.D("D4"), b.D("D5")
+			b.D("D6").Set(o.C, core.Cost(mergeJoinCost(
+				d4.Float(o.C), d5.Float(o.C), d4.Float(o.NR), d5.Float(o.NR))))
+		},
+	})
+
+	// I-rule: SORT => Merge_sort (Figure 5, verbatim).
+	rs.AddI(&core.IRule{
+		Name: "sort_merge_sort",
+		LHS:  core.POp(o.SORT, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(o.Merge, "D3", core.PVar(1, "")),
+		Test: func(b *core.Binding) bool {
+			ord := b.D("D2").Order(o.Ord)
+			// The stream can only be sorted on attributes it carries.
+			return !ord.IsDontCare() && ord.Within(b.D("D2").AttrList(o.AT))
+		},
+		PreOpt: func(b *core.Binding) {
+			b.D("D3").CopyFrom(b.D("D2"))
+		},
+		PostOpt: func(b *core.Binding) {
+			d3 := b.D("D3")
+			d3.Set(o.C, core.Cost(mergeSortCost(b.D("D1").Float(o.C), d3.Float(o.NR))))
+		},
+	})
+
+	// I-rule: SORT => Null (Figure 7(b), verbatim): the Null rule that
+	// marks SORT as an enforcer-operator; its pre-opt propagates the
+	// tuple order onto the input stream's new descriptor.
+	rs.AddI(&core.IRule{
+		Name: "sort_null",
+		LHS:  core.POp(o.SORT, "D2", core.PVar(1, "D1")),
+		RHS:  core.POp(o.Null, "D4", core.PVar(1, "D3")),
+		PreOpt: func(b *core.Binding) {
+			b.D("D4").CopyFrom(b.D("D2"))
+			b.D("D3").CopyFrom(b.D("D1"))
+			b.D("D3").Set(o.Ord, b.D("D2").Order(o.Ord))
+		},
+		PostOpt: func(b *core.Binding) {
+			b.D("D4").Set(o.C, core.Cost(b.D("D3").Float(o.C)))
+		},
+	})
+}

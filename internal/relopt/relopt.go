@@ -1,0 +1,188 @@
+// Package relopt implements the paper's running example: a centralized
+// relational query optimizer over RET, JOIN and SORT (Table 1), with the
+// algorithms File_scan, Index_scan, Nested_loops, Merge_join, Merge_sort
+// and Null. It provides the optimizer twice:
+//
+//   - PrairieRules: the Prairie specification — including the JOPR
+//     enforcer-introduction T-rule of footnote 5 and the Null SORT rule of
+//     §2.5 — which the P2V pre-processor merges into a compact Volcano
+//     rule set.
+//   - VolcanoRules: the same optimizer hand-coded directly in the Volcano
+//     format (explicit property classification and per-algorithm support
+//     functions), the baseline of the experiment reported in [5].
+//
+// Both use the same cost model, so measured differences between them are
+// attributable to the specification path alone.
+package relopt
+
+import (
+	"math"
+
+	"prairie/internal/catalog"
+	"prairie/internal/core"
+)
+
+// Opt bundles the relational algebra, its property handles, and the
+// catalog the cost model consults.
+type Opt struct {
+	Alg *core.Algebra
+	Cat *catalog.Catalog
+
+	// Property ids (Table 2 of the paper, plus "indexes" carrying the
+	// catalog's index metadata on stored-file descriptors).
+	Ord core.PropID // tuple_order
+	JP  core.PropID // join_predicate
+	SP  core.PropID // selection_predicate
+	AT  core.PropID // attributes
+	NR  core.PropID // num_records
+	TS  core.PropID // tuple_size
+	IX  core.PropID // indexes
+	C   core.PropID // cost
+
+	RET, JOIN, JOPR, SORT                              *core.Operation
+	FileScan, IndexScan, NestedLoops, MergeJoin, Merge *core.Operation
+	Null                                               *core.Operation
+}
+
+// New builds the relational algebra over a catalog.
+func New(cat *catalog.Catalog) *Opt {
+	a := core.NewAlgebra("relational")
+	o := &Opt{Alg: a, Cat: cat}
+	o.Ord = a.Props.Define("tuple_order", core.KindOrder)
+	o.JP = a.Props.Define("join_predicate", core.KindPred)
+	o.SP = a.Props.Define("selection_predicate", core.KindPred)
+	o.AT = a.Props.Define("attributes", core.KindAttrs)
+	o.NR = a.Props.Define("num_records", core.KindFloat)
+	o.TS = a.Props.Define("tuple_size", core.KindFloat)
+	o.IX = a.Props.Define("indexes", core.KindAttrs)
+	o.C = a.Props.Define("cost", core.KindCost)
+	o.RET = a.Operator("RET", 1)
+	o.JOIN = a.Operator("JOIN", 2)
+	o.JOPR = a.Operator("JOPR", 2)
+	o.SORT = a.Operator("SORT", 1)
+	o.FileScan = a.Algorithm("File_scan", 1)
+	o.IndexScan = a.Algorithm("Index_scan", 1)
+	o.NestedLoops = a.Algorithm("Nested_loops", 2)
+	o.MergeJoin = a.Algorithm("Merge_join", 2)
+	o.Merge = a.Algorithm("Merge_sort", 1)
+	o.Null = a.Null()
+	return o
+}
+
+// ---------------------------------------------------------------------------
+// Shared cost model. Costs are abstract work units (tuples touched);
+// both specification paths call exactly these functions.
+
+func fileScanCost(fileCard float64) float64 { return fileCard }
+
+// indexScanCost charges an index probe plus the matching tuples when the
+// selection is an equality on the indexed attribute, or a full sweep in
+// index order otherwise.
+func indexScanCost(fileCard, outCard float64, usable bool) float64 {
+	if usable {
+		return 8 + 2*outCard
+	}
+	return 8 + fileCard
+}
+
+func nestedLoopsCost(outerCost, outerCard, innerCost float64) float64 {
+	return outerCost + outerCard*innerCost
+}
+
+func mergeJoinCost(lCost, rCost, lCard, rCard float64) float64 {
+	return lCost + rCost + lCard + rCard
+}
+
+func mergeSortCost(inCost, card float64) float64 {
+	n := math.Max(card, 1)
+	return inCost + n*math.Log2(n+1)
+}
+
+// isAssociative is the paper's "is_associative" helper (Figure 3): it
+// checks that redistributing the predicates of two adjacent joins does
+// not introduce a cross product. It returns the redistributed inner and
+// outer predicates along with the verdict.
+func isAssociative(all *core.Pred, leftAttrs, midAttrs, rightAttrs core.Attrs) (inner, outer *core.Pred, ok bool) {
+	innerAttrs := midAttrs.Union(rightAttrs)
+	inner, outer = all.SplitBy(innerAttrs)
+	if len(inner.Attrs().Intersect(midAttrs)) == 0 || len(inner.Attrs().Intersect(rightAttrs)) == 0 {
+		return nil, nil, false
+	}
+	if len(outer.Attrs().Intersect(leftAttrs)) == 0 {
+		return nil, nil, false
+	}
+	return inner, outer, true
+}
+
+// orientEqui orients an equi-join term so the first attribute belongs to
+// the side whose attribute set is leftAttrs. It reports failure for
+// non-equi predicates or terms that do not span the two inputs.
+func orientEqui(p *core.Pred, leftAttrs core.Attrs) (l, r core.Attr, ok bool) {
+	if !p.IsEquiJoin() {
+		return core.Attr{}, core.Attr{}, false
+	}
+	if leftAttrs.Contains(p.Left) {
+		return p.Left, p.Right, true
+	}
+	if leftAttrs.Contains(p.Right) {
+		return p.Right, p.Left, true
+	}
+	return core.Attr{}, core.Attr{}, false
+}
+
+// pickIndexAttr chooses the index to use for an Index_scan: the
+// requested order's leading attribute if indexed, else the attribute of
+// an equality selection term if indexed, else the first index.
+func pickIndexAttr(indexes core.Attrs, want core.Order, sel *core.Pred) (core.Attr, bool) {
+	if len(indexes) == 0 {
+		return core.Attr{}, false
+	}
+	if !want.IsDontCare() && len(want.By) > 0 && indexes.Contains(want.By[0]) {
+		return want.By[0], true
+	}
+	for _, t := range sel.Conjuncts() {
+		if t.Op == core.PredEq && !t.AttrCmp && indexes.Contains(t.Left) {
+			return t.Left, true
+		}
+	}
+	return indexes[0], true
+}
+
+// indexUsableForSelection reports whether the chosen index attribute is
+// the target of an equality selection term (enabling a cheap probe).
+func indexUsableForSelection(ix core.Attr, sel *core.Pred) bool {
+	for _, t := range sel.Conjuncts() {
+		if t.Op == core.PredEq && !t.AttrCmp && t.Left == ix {
+			return true
+		}
+	}
+	return false
+}
+
+// HashJoinExtension is a Prairie module extending the relational algebra
+// with a hash join — a demonstration of the modular rule-set composition
+// the paper's conclusion proposes. Merge it with PrairieRules via
+// core.MergeRuleSets and re-run P2V; no existing rule changes.
+func (o *Opt) HashJoinExtension() *core.RuleSet {
+	hash := o.Alg.Algorithm("Hash_join", 2)
+	rs := core.NewRuleSet(o.Alg)
+	rs.AddI(&core.IRule{
+		Name: "join_hash_join",
+		LHS:  core.POp(o.JOIN, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+		RHS:  core.POp(hash, "D4", core.PVar(1, ""), core.PVar(2, "")),
+		Test: func(b *core.Binding) bool {
+			return b.D("D3").Pred(o.JP).IsEquiJoin()
+		},
+		PreOpt: func(b *core.Binding) {
+			d4 := b.D("D4")
+			d4.CopyFrom(b.D("D3"))
+			d4.Set(o.Ord, core.DontCareOrder) // hashing destroys order
+		},
+		PostOpt: func(b *core.Binding) {
+			d1, d2 := b.D("D1"), b.D("D2")
+			b.D("D4").Set(o.C, core.Cost(
+				d1.Float(o.C)+d2.Float(o.C)+d1.Float(o.NR)+2*d2.Float(o.NR)))
+		},
+	})
+	return rs
+}

@@ -1,0 +1,148 @@
+package relopt
+
+import (
+	"prairie/internal/core"
+	"prairie/internal/volcano"
+)
+
+// VolcanoRules builds the hand-coded Volcano specification of the same
+// optimizer: the property classification is stated explicitly (the user
+// must decide that tuple_order is physical and cost is cost, §3.1), the
+// JOPR/SORT machinery is absent (Volcano's enforcer concept replaces it),
+// and the per-algorithm support functions compute properties in place.
+// This is the baseline the Prairie-generated optimizer is compared with.
+func (o *Opt) VolcanoRules() *volcano.RuleSet {
+	rs := volcano.NewRuleSet(o.Alg)
+	rs.SetPhys(o.Ord)
+
+	rs.AddTrans(&volcano.TransRule{
+		Name: "join_commute",
+		LHS:  core.POp(o.JOIN, "D3", core.PVar(1, ""), core.PVar(2, "")),
+		RHS:  core.POp(o.JOIN, "D4", core.PVar(2, ""), core.PVar(1, "")),
+		Appl: func(b *volcano.TBinding) { b.D("D4").CopyFrom(b.D("D3")) },
+	})
+
+	rs.AddTrans(&volcano.TransRule{
+		Name: "join_assoc",
+		LHS: core.POp(o.JOIN, "D5",
+			core.POp(o.JOIN, "D3", core.PVar(1, "D1"), core.PVar(2, "D2")),
+			core.PVar(3, "D4")),
+		RHS: core.POp(o.JOIN, "D7",
+			core.PVar(1, ""),
+			core.POp(o.JOIN, "D6", core.PVar(2, ""), core.PVar(3, ""))),
+		Cond: func(b *volcano.TBinding) bool {
+			all := core.And(b.D("D3").Pred(o.JP), b.D("D5").Pred(o.JP))
+			_, _, ok := isAssociative(all,
+				b.D("D1").AttrList(o.AT), b.D("D2").AttrList(o.AT), b.D("D4").AttrList(o.AT))
+			return ok
+		},
+		Appl: func(b *volcano.TBinding) {
+			all := core.And(b.D("D3").Pred(o.JP), b.D("D5").Pred(o.JP))
+			inner, outer, _ := isAssociative(all,
+				b.D("D1").AttrList(o.AT), b.D("D2").AttrList(o.AT), b.D("D4").AttrList(o.AT))
+			d6, d7 := b.D("D6"), b.D("D7")
+			d6.Set(o.AT, b.D("D2").AttrList(o.AT).Union(b.D("D4").AttrList(o.AT)))
+			d6.Set(o.JP, inner)
+			d6.SetFloat(o.NR, o.Cat.JoinCard(b.D("D2").Float(o.NR), b.D("D4").Float(o.NR), inner))
+			d6.SetFloat(o.TS, b.D("D2").Float(o.TS)+b.D("D4").Float(o.TS))
+			d7.CopyFrom(b.D("D5"))
+			d7.Set(o.JP, outer)
+		},
+	})
+
+	// RET -> File_scan.
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "ret_file_scan", Op: o.RET, Alg: o.FileScan,
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, core.DontCareOrder)
+			return d, []*core.Descriptor{nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(fileScanCost(cx.In[0].Float(o.NR))))
+		},
+	})
+
+	// RET -> Index_scan.
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "ret_index_scan", Op: o.RET, Alg: o.IndexScan,
+		Cond: func(cx *volcano.ImplCtx) bool {
+			return len(cx.Kids[0].AttrList(o.IX)) > 0
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			ix, ok := pickIndexAttr(cx.Kids[0].AttrList(o.IX), cx.OpDesc.Order(o.Ord), cx.OpDesc.Pred(o.SP))
+			if ok {
+				d.Set(o.Ord, core.OrderBy(ix))
+			} else {
+				d.Set(o.Ord, core.DontCareOrder)
+			}
+			return d, []*core.Descriptor{nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			ix, _ := pickIndexAttr(cx.In[0].AttrList(o.IX), cx.OpDesc.Order(o.Ord), cx.OpDesc.Pred(o.SP))
+			usable := indexUsableForSelection(ix, cx.OpDesc.Pred(o.SP))
+			d.Set(o.C, core.Cost(indexScanCost(cx.In[0].Float(o.NR), d.Float(o.NR), usable)))
+		},
+	})
+
+	// JOIN -> Nested_loops.
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "join_nested_loops", Op: o.JOIN, Alg: o.NestedLoops,
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			d := cx.OpDesc
+			outer := core.NewDescriptor(o.Alg.Props)
+			outer.Set(o.Ord, d.Order(o.Ord))
+			return d.Clone(), []*core.Descriptor{outer, nil}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.Ord, cx.In[0].Order(o.Ord))
+			d.Set(o.C, core.Cost(nestedLoopsCost(
+				cx.In[0].Float(o.C), cx.In[0].Float(o.NR), cx.In[1].Float(o.C))))
+		},
+	})
+
+	// JOIN -> Merge_join.
+	rs.AddImpl(&volcano.ImplRule{
+		Name: "join_merge_join", Op: o.JOIN, Alg: o.MergeJoin,
+		Cond: func(cx *volcano.ImplCtx) bool {
+			_, _, ok := orientEqui(cx.OpDesc.Pred(o.JP), cx.Kids[0].AttrList(o.AT))
+			return ok
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, []*core.Descriptor) {
+			l, r, _ := orientEqui(cx.OpDesc.Pred(o.JP), cx.Kids[0].AttrList(o.AT))
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, core.OrderBy(l))
+			lr := core.NewDescriptor(o.Alg.Props)
+			lr.Set(o.Ord, core.OrderBy(l))
+			rr := core.NewDescriptor(o.Alg.Props)
+			rr.Set(o.Ord, core.OrderBy(r))
+			return d, []*core.Descriptor{lr, rr}
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(mergeJoinCost(
+				cx.In[0].Float(o.C), cx.In[1].Float(o.C),
+				cx.In[0].Float(o.NR), cx.In[1].Float(o.NR))))
+		},
+	})
+
+	// Merge_sort enforcer.
+	rs.AddEnforcer(&volcano.Enforcer{
+		Name: "sort_merge_sort", Alg: o.Merge, Props: []core.PropID{o.Ord},
+		Cond: func(cx *volcano.ImplCtx) bool {
+			ord := cx.Req.Order(o.Ord)
+			return cx.Req.Has(o.Ord) && !ord.IsDontCare() &&
+				ord.Within(cx.OpDesc.AttrList(o.AT))
+		},
+		Pre: func(cx *volcano.ImplCtx) (*core.Descriptor, *core.Descriptor) {
+			d := cx.OpDesc.Clone()
+			d.Set(o.Ord, cx.Req.Order(o.Ord))
+			return d, core.NewDescriptor(o.Alg.Props)
+		},
+		Post: func(cx *volcano.ImplCtx, d *core.Descriptor) {
+			d.Set(o.C, core.Cost(mergeSortCost(cx.In[0].Float(o.C), d.Float(o.NR))))
+		},
+	})
+
+	return rs
+}

@@ -1,0 +1,92 @@
+package volcano
+
+import (
+	"prairie/internal/core"
+)
+
+// forEachMatch enumerates every binding of pattern p against expression e
+// (patterns deeper than one operator bind interior pattern nodes against
+// the expressions of the corresponding input groups — Volcano's
+// cross-product pattern matching on the memo). fn is invoked once per
+// complete binding; the binding is reused across invocations, so fn must
+// not retain it.
+func (m *Memo) forEachMatch(p *core.PatNode, e *LExpr, b *TBinding, fn func()) {
+	if p.IsVar() {
+		// A variable leaf matches any group; bind the group and, if the
+		// pattern names a descriptor ("?1:D1"), the group's
+		// representative descriptor (read-only logical information).
+		b.Var[p.Var] = m.Find(e.group)
+		if p.Desc != "" {
+			b.Bind(p.Desc, m.Group(e.group).Rep())
+		}
+		fn()
+		return
+	}
+	if e.IsLeaf() || e.Op != p.Op {
+		return
+	}
+	if p.Desc != "" {
+		b.Bind(p.Desc, e.D)
+	}
+	m.matchKids(p, e, 0, b, fn)
+}
+
+func (m *Memo) matchKids(p *core.PatNode, e *LExpr, i int, b *TBinding, fn func()) {
+	if i == len(p.Kids) {
+		fn()
+		return
+	}
+	kp := p.Kids[i]
+	kid := m.Find(e.Kids[i])
+	if kp.IsVar() {
+		b.Var[kp.Var] = kid
+		if kp.Desc != "" {
+			b.Bind(kp.Desc, m.Group(kid).Rep())
+		}
+		m.matchKids(p, e, i+1, b, fn)
+		return
+	}
+	// Interior kid pattern: try every expression of the input group.
+	g := m.groups[kid]
+	for _, ke := range g.Exprs {
+		if ke.IsLeaf() || ke.Op != kp.Op {
+			continue
+		}
+		m.forEachMatch(kp, ke, b, func() {
+			m.matchKids(p, e, i+1, b, fn)
+		})
+	}
+}
+
+// buildRHS interns the right-hand side of a fired transformation rule.
+// Variable leaves resolve to their bound groups; interior nodes take the
+// descriptors the rule's actions filled into the binding. target is the
+// group the root is inserted into. It reports whether the memo changed.
+func (m *Memo) buildRHS(p *core.PatNode, b *TBinding, target GroupID) bool {
+	_, changed := m.buildRHSNode(p, b, target)
+	return changed
+}
+
+func (m *Memo) buildRHSNode(p *core.PatNode, b *TBinding, target GroupID) (GroupID, bool) {
+	if p.IsVar() {
+		// Descriptor names on RHS variable leaves carry required-property
+		// information in Prairie I-rules; in the purely logical space of
+		// trans_rules they have no effect.
+		return b.Var[p.Var], false
+	}
+	kids := make([]GroupID, len(p.Kids))
+	changed := false
+	for i, kp := range p.Kids {
+		kg, ch := m.buildRHSNode(kp, b, -1)
+		kids[i] = kg
+		changed = changed || ch
+	}
+	d := b.D(p.Desc).Clone()
+	g, ch := m.InsertExpr(p.Op, d, kids, target)
+	return g, changed || ch
+}
+
+// newTBinding returns a fresh transformation binding.
+func (m *Memo) newTBinding() *TBinding {
+	return &TBinding{Binding: core.NewBinding(m.rs.Algebra.Props), Var: map[int]GroupID{}}
+}

@@ -1,0 +1,372 @@
+package volcano
+
+import (
+	"fmt"
+	"strings"
+
+	"prairie/internal/core"
+)
+
+// GroupID identifies an equivalence class in the memo. IDs are stable
+// but may alias after group merging; Memo.Find canonicalizes.
+type GroupID int
+
+// LExpr is a logical expression in the memo: an operator applied to
+// input groups, carrying its full Prairie descriptor. Identity (for
+// duplicate elimination) is the operator, the argument-property
+// projection of the descriptor, and the canonical input group ids; leaves
+// are identified by file name.
+type LExpr struct {
+	Op   *core.Operation // nil for a stored-file leaf
+	File string          // leaf only
+	D    *core.Descriptor
+	Kids []GroupID
+	// group is the canonical group at insertion time; Memo.Find(group)
+	// stays correct across merges.
+	group GroupID
+}
+
+// IsLeaf reports whether the expression is a stored-file leaf.
+func (e *LExpr) IsLeaf() bool { return e.Op == nil }
+
+// String renders the expression with group references, e.g. "JOIN(3, 4)".
+func (e *LExpr) String() string {
+	if e.IsLeaf() {
+		return e.File
+	}
+	parts := make([]string, len(e.Kids))
+	for i, k := range e.Kids {
+		parts[i] = fmt.Sprintf("%d", k)
+	}
+	return e.Op.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// winnerEntry memoizes the best plan found for one required
+// physical-property vector.
+type winnerEntry struct {
+	req        *core.Descriptor
+	plan       *PExpr // nil: no feasible plan
+	cost       float64
+	inProgress bool
+}
+
+// Group is an equivalence class: a set of logically equivalent
+// expressions plus the memoized winners per physical-property vector.
+type Group struct {
+	ID    GroupID
+	Exprs []*LExpr
+	// version increments whenever the group's expression set changes
+	// (insertion, merge, rehash); exploration uses it to skip
+	// re-matching deep patterns against unchanged inputs.
+	version uint64
+	// rep is the representative descriptor: the first inserted
+	// expression's. Logical information (cardinality, attributes) is by
+	// construction identical across a group's members.
+	rep     *core.Descriptor
+	winners map[uint64][]*winnerEntry
+}
+
+// Rep returns the group's representative descriptor.
+func (g *Group) Rep() *core.Descriptor { return g.rep }
+
+// Memo is the shared search-space store: groups, expressions, and the
+// duplicate-detection index. It implements group merging with union-find
+// so that rediscovered equivalences collapse equivalence classes, which
+// keeps the Figure 14 group counts honest.
+type Memo struct {
+	rs     *RuleSet
+	groups []*Group
+	parent []GroupID // union-find
+	index  map[uint64][]*LExpr
+	// dirty is set when a merge may have invalidated index keys (keys
+	// embed canonical kid ids); Rehash rebuilds.
+	dirty  bool
+	merges int
+	// exprCount tracks live expressions for the search-space cap.
+	exprCount int
+}
+
+// NewMemo returns an empty memo for the rule set.
+func NewMemo(rs *RuleSet) *Memo {
+	return &Memo{rs: rs, index: make(map[uint64][]*LExpr)}
+}
+
+// Find returns the canonical group id.
+func (m *Memo) Find(g GroupID) GroupID {
+	for m.parent[g] != g {
+		m.parent[g] = m.parent[m.parent[g]] // path halving
+		g = m.parent[g]
+	}
+	return g
+}
+
+// Group returns the canonical group for id.
+func (m *Memo) Group(id GroupID) *Group { return m.groups[m.Find(id)] }
+
+// NumGroups returns the number of live (canonical) equivalence classes —
+// the quantity plotted in Figure 14 of the paper.
+func (m *Memo) NumGroups() int {
+	n := 0
+	for i := range m.groups {
+		if m.Find(GroupID(i)) == GroupID(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// NumExprs returns the number of live logical expressions.
+func (m *Memo) NumExprs() int { return m.exprCount }
+
+// Merges returns how many group merges occurred.
+func (m *Memo) Merges() int { return m.merges }
+
+// Groups iterates the canonical groups in id order.
+func (m *Memo) Groups() []*Group {
+	var out []*Group
+	for i := range m.groups {
+		if m.Find(GroupID(i)) == GroupID(i) {
+			out = append(out, m.groups[i])
+		}
+	}
+	return out
+}
+
+func (m *Memo) newGroup(rep *core.Descriptor) *Group {
+	id := GroupID(len(m.groups))
+	g := &Group{ID: id, rep: rep, winners: make(map[uint64][]*winnerEntry)}
+	m.groups = append(m.groups, g)
+	m.parent = append(m.parent, id)
+	return g
+}
+
+// idProps returns the properties that identify an expression of op in
+// duplicate detection: the operation's declared additional parameters
+// intersected with the argument class, or the whole argument class when
+// none are declared.
+func (m *Memo) idProps(op *core.Operation) []core.PropID {
+	if len(op.Args) == 0 {
+		return m.rs.Class.Arg
+	}
+	var out []core.PropID
+	for _, p := range op.Args {
+		if m.rs.Class.IsArg(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// exprHash computes the duplicate-detection key of an expression with
+// canonical kid ids.
+func (m *Memo) exprHash(op *core.Operation, file string, d *core.Descriptor, kids []GroupID) uint64 {
+	var h uint64
+	if op == nil {
+		h = core.HashCombine(0x1eaf, hashLeafName(file))
+	} else {
+		h = core.HashCombine(0x09, uint64(op.Index()))
+		h = core.HashCombine(h, d.HashOn(m.idProps(op)))
+	}
+	for _, k := range kids {
+		h = core.HashCombine(h, uint64(m.Find(k)))
+	}
+	return h
+}
+
+func hashLeafName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (m *Memo) exprEqual(e *LExpr, op *core.Operation, file string, d *core.Descriptor, kids []GroupID) bool {
+	if e.Op != op {
+		return false
+	}
+	if op == nil {
+		return e.File == file
+	}
+	if len(e.Kids) != len(kids) {
+		return false
+	}
+	for i := range kids {
+		if m.Find(e.Kids[i]) != m.Find(kids[i]) {
+			return false
+		}
+	}
+	return e.D.EqualOn(d, m.idProps(op))
+}
+
+// lookup returns an existing expression identical to the given one.
+func (m *Memo) lookup(op *core.Operation, file string, d *core.Descriptor, kids []GroupID) *LExpr {
+	h := m.exprHash(op, file, d, kids)
+	for _, e := range m.index[h] {
+		if m.exprEqual(e, op, file, d, kids) {
+			return e
+		}
+	}
+	return nil
+}
+
+// InsertLeaf interns a stored-file leaf and returns its group.
+func (m *Memo) InsertLeaf(file string, d *core.Descriptor) GroupID {
+	if e := m.lookup(nil, file, nil, nil); e != nil {
+		return m.Find(e.group)
+	}
+	g := m.newGroup(d)
+	e := &LExpr{File: file, D: d, group: g.ID}
+	g.Exprs = append(g.Exprs, e)
+	m.exprCount++
+	h := m.exprHash(nil, file, nil, nil)
+	m.index[h] = append(m.index[h], e)
+	return g.ID
+}
+
+// InsertExpr interns an operator expression. target is the group the
+// expression is asserted to belong to (a transformation inserts its
+// result into the matched expression's group), or -1 to create or reuse a
+// group as needed. If the expression already exists in a different group
+// than target, the two groups are merged — they have been proven
+// equivalent. InsertExpr reports the expression's canonical group and
+// whether the memo changed.
+func (m *Memo) InsertExpr(op *core.Operation, d *core.Descriptor, kids []GroupID, target GroupID) (GroupID, bool) {
+	canonKids := make([]GroupID, len(kids))
+	for i, k := range kids {
+		canonKids[i] = m.Find(k)
+	}
+	if e := m.lookup(op, "", d, canonKids); e != nil {
+		eg := m.Find(e.group)
+		if target >= 0 && m.Find(target) != eg {
+			m.merge(m.Find(target), eg)
+			return m.Find(eg), true
+		}
+		return eg, false
+	}
+	var g *Group
+	if target >= 0 {
+		g = m.groups[m.Find(target)]
+	} else {
+		g = m.newGroup(d)
+	}
+	e := &LExpr{Op: op, D: d, Kids: canonKids, group: g.ID}
+	g.Exprs = append(g.Exprs, e)
+	g.version++
+	m.exprCount++
+	h := m.exprHash(op, "", d, canonKids)
+	m.index[h] = append(m.index[h], e)
+	return g.ID, true
+}
+
+// merge unions two canonical groups, keeping a's identity.
+func (m *Memo) merge(a, b GroupID) {
+	if a == b {
+		return
+	}
+	m.merges++
+	ga, gb := m.groups[a], m.groups[b]
+	// Keep the group with more expressions to move less.
+	if len(gb.Exprs) > len(ga.Exprs) {
+		ga, gb = gb, ga
+		a, b = b, a
+	}
+	m.parent[b] = a
+	for _, e := range gb.Exprs {
+		e.group = a
+	}
+	ga.Exprs = append(ga.Exprs, gb.Exprs...)
+	ga.version += gb.version + 1
+	gb.Exprs = nil
+	// Winners computed before a merge would be stale; merging only
+	// happens during exploration, before any winner exists, but clear
+	// defensively.
+	for k := range gb.winners {
+		delete(gb.winners, k)
+	}
+	m.dirty = true
+}
+
+// Dirty reports whether a merge has invalidated the duplicate index.
+func (m *Memo) Dirty() bool { return m.dirty }
+
+// Rehash rebuilds the duplicate-detection index after merges: expression
+// keys embed canonical kid ids, so merging can make previously distinct
+// expressions identical. Rehash dedupes them (merging further groups when
+// duplicates live in different groups) and loops until stable.
+func (m *Memo) Rehash() {
+	for m.dirty {
+		m.dirty = false
+		type item struct {
+			e      *LExpr
+			target GroupID
+		}
+		var items []item
+		for gi := range m.groups {
+			if m.Find(GroupID(gi)) != GroupID(gi) {
+				continue
+			}
+			g := m.groups[gi]
+			for _, e := range g.Exprs {
+				items = append(items, item{e, GroupID(gi)})
+			}
+			g.Exprs = nil
+		}
+		m.index = make(map[uint64][]*LExpr, len(items))
+		m.exprCount = 0
+		for _, it := range items {
+			m.reinsert(it.e, it.target)
+		}
+	}
+}
+
+// reinsert re-interns an expression into (the canonical version of) its
+// group during Rehash, merging groups when the expression now duplicates
+// one elsewhere.
+func (m *Memo) reinsert(e *LExpr, target GroupID) {
+	target = m.Find(target)
+	for i := range e.Kids {
+		e.Kids[i] = m.Find(e.Kids[i])
+	}
+	if dup := m.lookup(e.Op, e.File, e.D, e.Kids); dup != nil {
+		if dg := m.Find(dup.group); dg != target {
+			m.merge(dg, target)
+		}
+		return
+	}
+	e.group = target
+	g := m.groups[target]
+	g.Exprs = append(g.Exprs, e)
+	g.version++
+	m.exprCount++
+	h := m.exprHash(e.Op, e.File, e.D, e.Kids)
+	m.index[h] = append(m.index[h], e)
+}
+
+// Insert interns a whole operator tree bottom-up and returns its root
+// group; this is how the initial query (an initialized operator tree,
+// §2.2) enters the memo.
+func (m *Memo) Insert(e *core.Expr) GroupID {
+	if e.IsLeaf() {
+		return m.InsertLeaf(e.File, e.D)
+	}
+	kids := make([]GroupID, len(e.Kids))
+	for i, k := range e.Kids {
+		kids[i] = m.Insert(k)
+	}
+	g, _ := m.InsertExpr(e.Op, e.D, kids, -1)
+	return g
+}
+
+// Dump renders the memo's groups and expressions for debugging.
+func (m *Memo) Dump() string {
+	var b strings.Builder
+	for _, g := range m.Groups() {
+		fmt.Fprintf(&b, "group %d (rep %s):\n", g.ID, g.rep)
+		for _, e := range g.Exprs {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return b.String()
+}

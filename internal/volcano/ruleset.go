@@ -1,0 +1,244 @@
+// Package volcano implements a Volcano-style optimizer generator
+// (Graefe 1990): a memo of equivalence classes over logical expressions,
+// transformation and implementation rules, enforcers, and a top-down
+// branch-and-bound search strategy.
+//
+// It is the back-end search engine of this repository, exactly as the
+// Volcano optimizer generator is the back end of the Prairie paper: rule
+// sets are either written directly in this package's format (the paper's
+// "hand-coded Volcano" baseline) or generated from a Prairie
+// specification by the P2V pre-processor (package internal/p2v).
+package volcano
+
+import (
+	"fmt"
+
+	"prairie/internal/core"
+)
+
+// Classification partitions one Prairie descriptor into Volcano's three
+// property classes (§3.1 of the paper). Volcano makes the user supply
+// this; P2V computes it automatically.
+type Classification struct {
+	// Arg lists the operator/algorithm argument properties: they are
+	// part of a logical expression's identity in the memo (two JOINs
+	// with different join predicates are different expressions).
+	Arg []core.PropID
+	// Phys lists the physical properties: properties that can be
+	// requested from below (e.g. tuple_order). Winners are memoized per
+	// physical-property vector.
+	Phys []core.PropID
+	// Cost is the single cost property.
+	Cost core.PropID
+}
+
+// IsArg reports whether id is classified as an argument property.
+func (c Classification) IsArg(id core.PropID) bool { return containsProp(c.Arg, id) }
+
+// IsPhys reports whether id is classified as a physical property.
+func (c Classification) IsPhys(id core.PropID) bool { return containsProp(c.Phys, id) }
+
+func containsProp(ids []core.PropID, id core.PropID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TBinding is the environment a transformation rule runs in: descriptor
+// variables (inherited from core.Binding) plus pattern-variable bindings
+// to memo groups.
+type TBinding struct {
+	*core.Binding
+	Var map[int]GroupID
+}
+
+// TransRule is a Volcano trans_rule: a directed logical-to-logical
+// rewrite. Cond is the cond_code (a Prairie T-rule's pre-test statements
+// and test); Appl is the appl_code (the post-test statements), which must
+// fill in the descriptors of all new right-hand-side nodes.
+type TransRule struct {
+	Name     string
+	LHS, RHS *core.PatNode
+	Cond     func(b *TBinding) bool // nil means TRUE
+	Appl     func(b *TBinding)      // nil means no actions
+}
+
+func (r *TransRule) String() string {
+	return fmt.Sprintf("%s: %s -> %s", r.Name, r.LHS, r.RHS)
+}
+
+// ImplCtx carries the state an implementation rule or enforcer sees.
+type ImplCtx struct {
+	// OpDesc is the matched logical expression's descriptor with the
+	// required physical properties merged in; for an enforcer it is the
+	// group's representative descriptor with the requirement merged in.
+	OpDesc *core.Descriptor
+	// Req is the required physical-property vector (only classified
+	// physical properties are meaningful).
+	Req *core.Descriptor
+	// Kids holds the representative descriptors of the input groups
+	// (logical information available before input optimization).
+	Kids []*core.Descriptor
+	// In holds the optimized inputs' winner descriptors; it is only
+	// populated when Post runs.
+	In []*core.Descriptor
+	// Scratch lets a rule's hooks share state across the Cond/Pre/Post
+	// stages of one alternative (the P2V-generated hooks cache their
+	// descriptor binding here). The engine never touches it.
+	Scratch interface{}
+}
+
+// ImplRule is a Volcano impl_rule: it implements an operator by an
+// algorithm. The three hooks correspond to Volcano's support functions
+// (Table 4(b) of the paper): Cond is the cond_code plus "do_any_good";
+// Pre is "get_input_pv" (it yields the algorithm's provisional output
+// descriptor and each input's required physical properties); Post is
+// "derive_phy_prop" plus "cost" (it finalizes algD, in particular its
+// cost property).
+type ImplRule struct {
+	Name string
+	Op   *core.Operation
+	Alg  *core.Operation
+	Cond func(cx *ImplCtx) bool // nil means TRUE
+	Pre  func(cx *ImplCtx) (algD *core.Descriptor, inReq []*core.Descriptor)
+	Post func(cx *ImplCtx, algD *core.Descriptor)
+}
+
+func (r *ImplRule) String() string {
+	return fmt.Sprintf("%s: %s -> %s", r.Name, r.Op.Name, r.Alg.Name)
+}
+
+// Enforcer is a Volcano enforcer: an algorithm that produces a physical
+// property (e.g. Merge_sort produces a tuple order) on top of an
+// arbitrary plan for the same equivalence class. The engine applies an
+// enforcer when a required property is not DONT_CARE, optimizing the same
+// group with that property relaxed. In Prairie, enforcers are ordinary
+// I-rules on an enforcer-operator; P2V generates these structures.
+type Enforcer struct {
+	Name string
+	Alg  *core.Operation
+	// Props are the physical properties this enforcer can produce.
+	Props []core.PropID
+	Cond  func(cx *ImplCtx) bool // nil: applies iff some Prop in Req is set and not DONT_CARE
+	// Pre yields the enforcer node's provisional descriptor and the
+	// relaxed requirement for its input (same group).
+	Pre  func(cx *ImplCtx) (algD *core.Descriptor, inReq *core.Descriptor)
+	Post func(cx *ImplCtx, algD *core.Descriptor)
+}
+
+func (e *Enforcer) String() string {
+	return fmt.Sprintf("enforcer %s (%s)", e.Name, e.Alg.Name)
+}
+
+// RuleSet is a complete Volcano optimizer specification: the algebra, the
+// property classification, and the rules. It is consumed by Optimizer.
+type RuleSet struct {
+	Algebra   *core.Algebra
+	Class     Classification
+	Trans     []*TransRule
+	Impls     []*ImplRule
+	Enforcers []*Enforcer
+	// MonotonicCosts asserts that every algorithm's total cost is at
+	// least the sum of its inputs' costs, enabling branch-and-bound
+	// pruning while inputs are optimized.
+	MonotonicCosts bool
+}
+
+// NewRuleSet returns an empty rule set with a default classification
+// (cost = the algebra's single COST property, everything else argument).
+func NewRuleSet(a *core.Algebra) *RuleSet {
+	rs := &RuleSet{Algebra: a, MonotonicCosts: true}
+	costs := a.Props.CostProps()
+	if len(costs) == 1 {
+		rs.Class.Cost = costs[0]
+	} else {
+		rs.Class.Cost = core.NoProp
+	}
+	for i := 0; i < a.Props.Len(); i++ {
+		id := core.PropID(i)
+		if id != rs.Class.Cost {
+			rs.Class.Arg = append(rs.Class.Arg, id)
+		}
+	}
+	return rs
+}
+
+// SetPhys moves the given properties from the argument class to the
+// physical class; hand-coded rule sets use it to state their
+// classification explicitly.
+func (rs *RuleSet) SetPhys(ids ...core.PropID) {
+	for _, id := range ids {
+		if !rs.Class.IsPhys(id) {
+			rs.Class.Phys = append(rs.Class.Phys, id)
+		}
+		var arg []core.PropID
+		for _, a := range rs.Class.Arg {
+			if a != id {
+				arg = append(arg, a)
+			}
+		}
+		rs.Class.Arg = arg
+	}
+}
+
+// AddTrans appends a transformation rule.
+func (rs *RuleSet) AddTrans(r *TransRule) *TransRule { rs.Trans = append(rs.Trans, r); return r }
+
+// AddImpl appends an implementation rule.
+func (rs *RuleSet) AddImpl(r *ImplRule) *ImplRule { rs.Impls = append(rs.Impls, r); return r }
+
+// AddEnforcer appends an enforcer.
+func (rs *RuleSet) AddEnforcer(e *Enforcer) *Enforcer {
+	rs.Enforcers = append(rs.Enforcers, e)
+	return e
+}
+
+// Validate checks engine-level requirements: a cost property is set, rule
+// patterns use only operators on T-rule sides, impl rules have Pre/Post
+// hooks, enforcer property lists are physical.
+func (rs *RuleSet) Validate() []error {
+	var errs []error
+	bad := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if rs.Class.Cost == core.NoProp {
+		bad("volcano: no cost property classified")
+	}
+	for _, r := range rs.Trans {
+		if r.LHS == nil || r.RHS == nil || r.LHS.IsVar() {
+			bad("volcano: trans_rule %s has malformed patterns", r.Name)
+			continue
+		}
+		for _, op := range append(r.LHS.Ops(), r.RHS.Ops()...) {
+			if op.Kind != core.Operator {
+				bad("volcano: trans_rule %s mentions non-operator %s", r.Name, op.Name)
+			}
+		}
+	}
+	for _, r := range rs.Impls {
+		if r.Op == nil || r.Alg == nil || r.Op.Kind != core.Operator || r.Alg.Kind != core.Algorithm {
+			bad("volcano: impl_rule %s has malformed operator/algorithm", r.Name)
+		}
+		if r.Pre == nil || r.Post == nil {
+			bad("volcano: impl_rule %s needs Pre and Post hooks", r.Name)
+		}
+	}
+	for _, e := range rs.Enforcers {
+		if e.Alg == nil || e.Alg.Kind != core.Algorithm {
+			bad("volcano: enforcer %s has no algorithm", e.Name)
+		}
+		if e.Pre == nil || e.Post == nil {
+			bad("volcano: enforcer %s needs Pre and Post hooks", e.Name)
+		}
+		for _, p := range e.Props {
+			if !rs.Class.IsPhys(p) {
+				bad("volcano: enforcer %s enforces non-physical property %s",
+					e.Name, rs.Algebra.Props.At(p).Name)
+			}
+		}
+	}
+	return errs
+}

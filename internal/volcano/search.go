@@ -1,0 +1,385 @@
+package volcano
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"prairie/internal/core"
+)
+
+// ErrSpaceExhausted is returned when the search space exceeds the
+// optimizer's expression limit — the analogue of the paper's experiments
+// exhausting virtual memory on large queries.
+var ErrSpaceExhausted = errors.New("volcano: search space exhausted (expression limit reached)")
+
+// ErrNoPlan is returned when no access plan satisfies the requested
+// physical properties.
+var ErrNoPlan = errors.New("volcano: no feasible access plan")
+
+// Options tunes the optimizer.
+type Options struct {
+	// MaxExprs caps the number of logical expressions (0 = default).
+	MaxExprs int
+	// MaxPasses caps exploration fixpoint passes (0 = default); hitting
+	// it indicates a diverging rule set.
+	MaxPasses int
+}
+
+// DefaultMaxExprs is the default search-space cap.
+const DefaultMaxExprs = 4_000_000
+
+// DefaultMaxPasses is the default exploration pass cap.
+const DefaultMaxPasses = 10_000
+
+// Optimizer drives a Volcano-style top-down optimization: it expands the
+// memo to the transformation fixpoint, then computes the cheapest access
+// plan per (equivalence class, required physical properties) with
+// memoized winners and branch-and-bound pruning.
+type Optimizer struct {
+	RS    *RuleSet
+	Memo  *Memo
+	Stats *Stats
+	Opts  Options
+	// OnEvent, when set, receives a trace of rule firings, costed and
+	// rejected alternatives, enforcer applications, and winners.
+	OnEvent func(Event)
+}
+
+// NewOptimizer returns an optimizer over a fresh memo.
+func NewOptimizer(rs *RuleSet) *Optimizer {
+	return &Optimizer{RS: rs, Memo: NewMemo(rs), Stats: NewStats()}
+}
+
+func (o *Optimizer) maxExprs() int {
+	if o.Opts.MaxExprs > 0 {
+		return o.Opts.MaxExprs
+	}
+	return DefaultMaxExprs
+}
+
+func (o *Optimizer) maxPasses() int {
+	if o.Opts.MaxPasses > 0 {
+		return o.Opts.MaxPasses
+	}
+	return DefaultMaxPasses
+}
+
+// Optimize maps an initialized operator tree to its cheapest access plan
+// that satisfies req's physical properties (req may be nil for "no
+// requirement"). It returns the winning plan; Stats describe the search.
+func (o *Optimizer) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	root := o.Memo.Insert(tree)
+	if err := o.explore(); err != nil {
+		return nil, err
+	}
+	if req == nil {
+		req = core.NewDescriptor(o.RS.Algebra.Props)
+	}
+	plan, _, err := o.findBest(root, req)
+	o.Stats.Groups = o.Memo.NumGroups()
+	o.Stats.Exprs = o.Memo.NumExprs()
+	o.Stats.Merges = o.Memo.Merges()
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, ErrNoPlan
+	}
+	return plan, nil
+}
+
+// explore applies transformation rules to a global fixpoint with
+// duplicate elimination: the constraint-driven expansion of the search
+// space. Deep patterns (depth > 1) are retried every pass because new
+// expressions in input groups can enable new bindings; depth-1 rules are
+// applied once per (expression, rule).
+func (o *Optimizer) explore() error {
+	m := o.Memo
+	type ruleMark struct {
+		e *LExpr
+		r int
+	}
+	done := map[ruleMark]bool{}
+	// For deep patterns, remember the input-group versions at the last
+	// application: a re-match can only yield new bindings if some input
+	// group gained expressions since (Volcano's derivation tracking).
+	deepSeen := map[ruleMark]uint64{}
+	kidFingerprint := func(e *LExpr) uint64 {
+		var fp uint64 = 1469598103934665603
+		for _, k := range e.Kids {
+			fp = fp*1099511628211 + m.Group(k).version
+		}
+		return fp
+	}
+	for pass := 0; ; pass++ {
+		if pass >= o.maxPasses() {
+			return fmt.Errorf("volcano: exploration did not converge in %d passes", pass)
+		}
+		o.Stats.Passes = pass + 1
+		changed := false
+		for gi := 0; gi < len(m.groups); gi++ {
+			if m.Find(GroupID(gi)) != GroupID(gi) {
+				continue
+			}
+			g := m.groups[gi]
+			for ei := 0; ei < len(g.Exprs); ei++ {
+				e := g.Exprs[ei]
+				if e.IsLeaf() {
+					continue
+				}
+				for ri, rule := range o.RS.Trans {
+					if rule.LHS.Op != e.Op {
+						continue
+					}
+					shallow := rule.LHS.Depth() <= 1
+					mark := ruleMark{e, ri}
+					if shallow && done[mark] {
+						continue
+					}
+					var fp uint64
+					if !shallow {
+						fp = kidFingerprint(e)
+						if last, ok := deepSeen[mark]; ok && last == fp {
+							continue
+						}
+					}
+					if o.applyTrans(rule, e) {
+						changed = true
+					}
+					if shallow {
+						done[mark] = true
+					} else {
+						// Applying the rule may itself have grown the
+						// input groups; fingerprint after application so
+						// self-induced growth is re-examined next pass.
+						deepSeen[mark] = fp
+					}
+					if m.NumExprs() > o.maxExprs() {
+						return ErrSpaceExhausted
+					}
+				}
+			}
+		}
+		if m.Dirty() {
+			m.Rehash()
+			changed = true
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// applyTrans fires one transformation rule on one expression for every
+// binding; it reports whether the memo changed.
+func (o *Optimizer) applyTrans(rule *TransRule, e *LExpr) bool {
+	m := o.Memo
+	changed := false
+	b := m.newTBinding()
+	m.forEachMatch(rule.LHS, e, b, func() {
+		o.Stats.TransMatched[rule.Name]++
+		// Run the rule's actions on a private binding: LHS descriptors
+		// are shared (read-only), RHS descriptors are created fresh per
+		// match by the actions.
+		rb := m.newTBinding()
+		for _, name := range b.Names() {
+			rb.Bind(name, b.D(name))
+		}
+		for v, g := range b.Var {
+			rb.Var[v] = g
+		}
+		if rule.Cond != nil && !rule.Cond(rb) {
+			return
+		}
+		o.Stats.TransFired[rule.Name]++
+		o.emit(EventTransFired, rule.Name, m.Find(e.group), e.String(), 0)
+		if rule.Appl != nil {
+			rule.Appl(rb)
+		}
+		if m.buildRHS(rule.RHS, rb, m.Find(e.group)) {
+			changed = true
+		}
+	})
+	return changed
+}
+
+// findBest computes (memoized) the cheapest plan for group g that
+// satisfies the required physical properties.
+func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, error) {
+	m := o.Memo
+	g = m.Find(g)
+	grp := m.groups[g]
+	phys := o.RS.Class.Phys
+	key := req.HashOn(phys)
+	for _, w := range grp.winners[key] {
+		if w.req.EqualOn(req, phys) {
+			if w.inProgress {
+				return nil, 0, fmt.Errorf("volcano: cyclic optimization of group %d", g)
+			}
+			return w.plan, w.cost, nil
+		}
+	}
+	w := &winnerEntry{req: req.Clone(), inProgress: true, cost: math.Inf(1)}
+	grp.winners[key] = append(grp.winners[key], w)
+	o.Stats.Winners++
+
+	best, bestCost, err := o.optimizeGroup(grp, req)
+	w.inProgress = false
+	if err != nil {
+		w.plan, w.cost = nil, math.Inf(1)
+		return nil, 0, err
+	}
+	w.plan, w.cost = best, bestCost
+	if best != nil {
+		o.emit(EventWinner, "", g, reqString(req, o.RS.Class.Phys)+" -> "+best.String(), bestCost)
+	}
+	return best, bestCost, nil
+}
+
+func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, float64, error) {
+	phys := o.RS.Class.Phys
+	costID := o.RS.Class.Cost
+	var best *PExpr
+	bestCost := math.Inf(1)
+
+	consider := func(plan *PExpr, cost float64) {
+		o.Stats.CostedPlans++
+		if cost < bestCost {
+			best, bestCost = plan, cost
+		}
+	}
+
+	for _, e := range grp.Exprs {
+		if e.IsLeaf() {
+			// A stored file satisfies a requirement only as-is; RET
+			// algorithms above it decide access paths.
+			if e.D.SatisfiesOn(req, phys) {
+				consider(&PExpr{File: e.File, D: e.D}, e.D.Float(costID))
+			}
+			continue
+		}
+		for _, rule := range o.RS.Impls {
+			if rule.Op != e.Op {
+				continue
+			}
+			o.Stats.ImplMatched[rule.Name]++
+			cx := &ImplCtx{
+				OpDesc: mergeReq(e.D, req, phys),
+				Req:    req,
+				Kids:   make([]*core.Descriptor, len(e.Kids)),
+				In:     make([]*core.Descriptor, len(e.Kids)),
+			}
+			for i, k := range e.Kids {
+				cx.Kids[i] = o.Memo.Group(k).Rep()
+			}
+			if rule.Cond != nil && !rule.Cond(cx) {
+				o.emit(EventImplRejected, rule.Name, grp.ID, "condition failed", 0)
+				continue
+			}
+			o.Stats.ImplFired[rule.Name]++
+			algD, inReq := rule.Pre(cx)
+			kids := make([]*PExpr, len(e.Kids))
+			acc := 0.0
+			ok := true
+			for i, k := range e.Kids {
+				r := core.NewDescriptor(o.RS.Algebra.Props)
+				if i < len(inReq) && inReq[i] != nil {
+					r = inReq[i]
+				}
+				plan, cost, err := o.findBest(k, r)
+				if err != nil {
+					return nil, 0, err
+				}
+				if plan == nil {
+					ok = false
+					break
+				}
+				kids[i] = plan
+				cx.In[i] = plan.D
+				acc += cost
+				if o.RS.MonotonicCosts && acc >= bestCost {
+					o.Stats.Pruned++
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				o.emit(EventImplRejected, rule.Name, grp.ID, "infeasible or pruned input", 0)
+				continue
+			}
+			rule.Post(cx, algD)
+			if !algD.SatisfiesOn(req, phys) {
+				o.emit(EventImplRejected, rule.Name, grp.ID, "required properties unsatisfied", 0)
+				continue
+			}
+			o.emit(EventImplCosted, rule.Name, grp.ID, rule.Alg.Name, algD.Float(costID))
+			consider(&PExpr{Alg: rule.Alg, D: algD, Kids: kids}, algD.Float(costID))
+		}
+	}
+
+	// Enforcers: produce a required property on top of a plan for the
+	// same group with that property relaxed.
+	for _, enf := range o.RS.Enforcers {
+		cx := &ImplCtx{
+			OpDesc: mergeReq(grp.Rep(), req, phys),
+			Req:    req,
+		}
+		if !o.enforcerApplies(enf, cx) {
+			continue
+		}
+		o.Stats.EnfMatched[enf.Name]++
+		algD, inReq := enf.Pre(cx)
+		if inReq.EqualOn(req, phys) {
+			// The enforcer did not relax anything; applying it would
+			// recurse forever.
+			continue
+		}
+		plan, _, err := o.findBest(grp.ID, inReq)
+		if err != nil {
+			return nil, 0, err
+		}
+		if plan == nil {
+			continue
+		}
+		cx.In = []*core.Descriptor{plan.D}
+		enf.Post(cx, algD)
+		if !algD.SatisfiesOn(req, phys) {
+			continue
+		}
+		o.Stats.EnfFired[enf.Name]++
+		o.emit(EventEnforcerApplied, enf.Name, grp.ID, enf.Alg.Name, algD.Float(costID))
+		consider(&PExpr{Alg: enf.Alg, D: algD, Kids: []*PExpr{plan}}, algD.Float(costID))
+	}
+
+	if best == nil {
+		return nil, math.Inf(1), nil
+	}
+	return best, bestCost, nil
+}
+
+func (o *Optimizer) enforcerApplies(enf *Enforcer, cx *ImplCtx) bool {
+	if enf.Cond != nil {
+		return enf.Cond(cx)
+	}
+	for _, p := range enf.Props {
+		if cx.Req.Has(p) && !cx.Req.Get(p).IsDontCare() {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeReq returns a copy of d with the explicitly-set physical
+// properties of req overriding d's — the descriptor an implementation
+// rule sees as its operator's (requirements flow top-down in Prairie by
+// assigning input descriptors' properties, §2.4).
+func mergeReq(d, req *core.Descriptor, phys []core.PropID) *core.Descriptor {
+	out := d.Clone()
+	for _, p := range phys {
+		if req.Has(p) {
+			out.Set(p, req.Get(p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package volcano
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats collects search statistics. The experiments of Section 4 of the
+// paper are read off these: equivalence-class counts drive Figure 14,
+// distinct matched rules drive Table 5.
+type Stats struct {
+	Groups int // equivalence classes after optimization
+	Exprs  int // logical expressions after optimization
+	Merges int // group merges (rediscovered equivalences)
+	Passes int // exploration fixpoint passes
+
+	TransMatched map[string]int // structural LHS matches per trans_rule
+	TransFired   map[string]int // matches whose cond_code passed
+	ImplMatched  map[string]int // operator matches per impl_rule
+	ImplFired    map[string]int // matches whose cond passed
+	EnfMatched   map[string]int // enforcer considerations
+	EnfFired     map[string]int // enforcers applied
+
+	Winners     int // (group, property-vector) optimizations performed
+	CostedPlans int // physical alternatives costed
+	Pruned      int // alternatives abandoned by branch-and-bound
+}
+
+// NewStats returns zeroed statistics.
+func NewStats() *Stats {
+	return &Stats{
+		TransMatched: map[string]int{},
+		TransFired:   map[string]int{},
+		ImplMatched:  map[string]int{},
+		ImplFired:    map[string]int{},
+		EnfMatched:   map[string]int{},
+		EnfFired:     map[string]int{},
+	}
+}
+
+// DistinctTransMatched returns how many distinct trans_rules matched at
+// least one sub-expression (the paper's Table 5 "trans_rules matched").
+func (s *Stats) DistinctTransMatched() int { return countNonZero(s.TransMatched) }
+
+// DistinctImplMatched returns how many distinct impl_rules matched (the
+// paper's Table 5 "impl_rules matched").
+func (s *Stats) DistinctImplMatched() int { return countNonZero(s.ImplMatched) }
+
+// DistinctImplFired returns how many distinct impl_rules actually applied
+// (their cond passed on at least one match).
+func (s *Stats) DistinctImplFired() int { return countNonZero(s.ImplFired) }
+
+func countNonZero(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact multi-line summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "groups=%d exprs=%d merges=%d passes=%d winners=%d costed=%d pruned=%d\n",
+		s.Groups, s.Exprs, s.Merges, s.Passes, s.Winners, s.CostedPlans, s.Pruned)
+	fmt.Fprintf(&b, "trans matched=%d fired=%d; impl matched=%d fired=%d\n",
+		s.DistinctTransMatched(), countNonZero(s.TransFired),
+		s.DistinctImplMatched(), s.DistinctImplFired())
+	for _, line := range []struct {
+		label string
+		m     map[string]int
+	}{{"trans", s.TransMatched}, {"impl", s.ImplMatched}, {"enforcer", s.EnfFired}} {
+		if len(line.m) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(line.m))
+		for k := range line.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%s:", line.label)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, line.m[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package prairie_test
+
+import (
+	"strings"
+	"testing"
+
+	"prairie"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the quickstart
+// example does: define an algebra and rules, translate, optimize.
+func TestFacadeEndToEnd(t *testing.T) {
+	alg := prairie.NewAlgebra("facade")
+	nr := alg.Props.Define("num_records", prairie.KindFloat)
+	cost := alg.Props.Define("cost", prairie.KindCost)
+	ret := alg.Operator("RET", 1)
+	join := alg.Operator("JOIN", 2)
+	fs := alg.Algorithm("File_scan", 1)
+	nl := alg.Algorithm("Nested_loops", 2)
+
+	rs := prairie.NewRuleSet(alg)
+	rs.AddT(&prairie.TRule{
+		Name:     "join_commute",
+		LHS:      prairie.POp(join, "D3", prairie.PVar(1, "D1"), prairie.PVar(2, "D2")),
+		RHS:      prairie.POp(join, "D4", prairie.PVar(2, ""), prairie.PVar(1, "")),
+		PostTest: func(b *prairie.Binding) { b.D("D4").CopyFrom(b.D("D3")) },
+	})
+	rs.AddI(&prairie.IRule{
+		Name:   "ret_file_scan",
+		LHS:    prairie.POp(ret, "D2", prairie.PVar(1, "D1")),
+		RHS:    prairie.POp(fs, "D3", prairie.PVar(1, "")),
+		PreOpt: func(b *prairie.Binding) { b.D("D3").CopyFrom(b.D("D2")) },
+		PostOpt: func(b *prairie.Binding) {
+			b.D("D3").SetFloat(cost, b.D("D1").Float(nr))
+		},
+	})
+	rs.AddI(&prairie.IRule{
+		Name: "join_nested_loops",
+		LHS:  prairie.POp(join, "D3", prairie.PVar(1, "D1"), prairie.PVar(2, "D2")),
+		RHS:  prairie.POp(nl, "D5", prairie.PVar(1, "D4"), prairie.PVar(2, "")),
+		PreOpt: func(b *prairie.Binding) {
+			b.D("D5").CopyFrom(b.D("D3"))
+			b.D("D4").CopyFrom(b.D("D1"))
+		},
+		PostOpt: func(b *prairie.Binding) {
+			d4 := b.D("D4")
+			b.D("D5").SetFloat(cost, d4.Float(cost)+d4.Float(nr)*b.D("D2").Float(cost))
+		},
+	})
+
+	leaf := func(name string, card float64) *prairie.Expr {
+		d := prairie.NewDescriptor(alg.Props)
+		d.SetFloat(nr, card)
+		return prairie.NewLeaf(name, d)
+	}
+	retOf := func(l *prairie.Expr) *prairie.Expr { return prairie.NewNode(ret, l.D.Clone(), l) }
+	jd := prairie.NewDescriptor(alg.Props)
+	jd.SetFloat(nr, 1000*10)
+	query := prairie.NewNode(join, jd, retOf(leaf("big", 1000)), retOf(leaf("small", 10)))
+
+	plan, stats, err := prairie.Optimize(rs, query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.String(); got != "Nested_loops(File_scan(small), File_scan(big))" {
+		t.Errorf("plan = %s", got)
+	}
+	if plan.D.Float(cost) != 10+10*1000 {
+		t.Errorf("cost = %g", plan.D.Float(cost))
+	}
+	if stats.Groups != 5 {
+		t.Errorf("groups = %d", stats.Groups)
+	}
+
+	// The explicit two-step path matches.
+	vrs, rep, err := prairie.Generate(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CostProp != "cost" {
+		t.Errorf("report cost prop = %q", rep.CostProp)
+	}
+	opt := prairie.NewOptimizer(vrs)
+	plan2, err := opt.Optimize(query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.String() != plan.String() {
+		t.Error("two-step path diverged from Optimize")
+	}
+}
+
+func TestFacadeParseRules(t *testing.T) {
+	src := `
+		algebra tiny;
+		property cost : cost;
+		operator R(1);
+		algorithm Scan(1) implements R;
+		irule r_scan:
+		  R(?1:D1):D2 => Scan(?1):D3
+		preopt { D3 = D2; }
+		postopt { D3.cost = 1; }`
+	rs, err := prairie.ParseRules(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.IRules) != 1 || rs.Algebra.Name != "tiny" {
+		t.Errorf("rules = %d, algebra = %q", len(rs.IRules), rs.Algebra.Name)
+	}
+	if errs := prairie.CheckRules(src); len(errs) != 0 {
+		t.Errorf("CheckRules = %v", errs)
+	}
+	bad := strings.Replace(src, "D3.cost = 1;", "D3.wibble = 1;", 1)
+	if errs := prairie.CheckRules(bad); len(errs) == 0 {
+		t.Error("CheckRules accepted unknown property")
+	}
+}
+
+func TestFacadeValues(t *testing.T) {
+	a := prairie.A("R", "x")
+	if !prairie.OrderBy(a).Within(prairie.Attrs{a}) {
+		t.Error("OrderBy/Within")
+	}
+	if !prairie.DontCareOrder.IsDontCare() {
+		t.Error("DontCareOrder")
+	}
+	p := prairie.And(prairie.EqAttr(a, prairie.A("S", "y")), prairie.EqConst(a, prairie.Int(1)))
+	if len(p.Conjuncts()) != 2 {
+		t.Error("And/Conjuncts")
+	}
+	if !prairie.TruePred.IsTrue() {
+		t.Error("TruePred")
+	}
+}
