@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke ci experiments clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short benchmark smoke: three iterations of the figure benchmarks that
+# stress the search engine hardest (E3/E4 sweeps and the exploration
+# figure). Full runs: `go test -bench=. -benchmem`.
+bench-smoke:
+	$(GO) test -run 'XXX' -bench 'Fig1[234]' -benchmem -benchtime 3x .
+
+ci: vet build race bench-smoke
+
+# Regenerate every paper table/figure (sequential, paper-faithful timing).
+experiments: build
+	$(GO) run ./cmd/optbench -experiment all
+
+clean:
+	$(GO) clean ./...

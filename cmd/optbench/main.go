@@ -7,6 +7,7 @@
 //
 //	optbench -experiment all
 //	optbench -experiment fig10 -maxclasses 6 -repeats 10 -csv
+//	optbench -experiment fig13 -workers 8 -json > BENCH_fig13.json
 package main
 
 import (
@@ -23,19 +24,37 @@ func main() {
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
+	workers := flag.Int("workers", 1,
+		"concurrent optimizations per sweep point (<=1 sequential; parallel runs distort per-query times)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables (for BENCH_*.json archives)")
 	flag.Parse()
 
-	opts := experiments.Options{MaxClasses: *maxClasses, Repeats: *repeats, MaxExprs: *maxExprs}
+	opts := experiments.Options{
+		MaxClasses: *maxClasses,
+		Repeats:    *repeats,
+		MaxExprs:   *maxExprs,
+		Workers:    *workers,
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
 	emit := func(t *experiments.Table, err error) {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "optbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			s, err := t.JSON()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(s)
+		case *csv:
 			fmt.Println(t.Title)
 			fmt.Print(t.CSV())
-		} else {
+		default:
 			fmt.Println(t.String())
 		}
 	}

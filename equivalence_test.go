@@ -1,0 +1,161 @@
+package prairie_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"prairie/internal/core"
+	"prairie/internal/oodb"
+	"prairie/internal/p2v"
+	"prairie/internal/qgen"
+	"prairie/internal/volcano"
+)
+
+// exploreResult captures everything the equivalence harness compares:
+// the memo closure (groups, expressions) and the winning plan's cost.
+type exploreResult struct {
+	groups, exprs int
+	cost          float64
+}
+
+func optimizeWith(t *testing.T, vrs *volcano.RuleSet, tree *core.Expr, req *core.Descriptor, kind volcano.ExplorerKind) exploreResult {
+	t.Helper()
+	opt := volcano.NewOptimizer(vrs)
+	opt.Opts.Explorer = kind
+	plan, err := opt.Optimize(tree.Clone(), req)
+	if err != nil {
+		t.Fatalf("explorer %d: %v", kind, err)
+	}
+	return exploreResult{
+		groups: opt.Stats.Groups,
+		exprs:  opt.Stats.Exprs,
+		cost:   plan.D.Float(vrs.Class.Cost),
+	}
+}
+
+// TestExplorerEquivalence is the ISSUE's equivalence harness: over the
+// seeded qgen workloads (families E1–E4, with and without indices, both
+// the P2V-generated and the hand-coded Volcano rule sets), the worklist
+// explorer must produce exactly the same equivalence-class counts,
+// expression counts, and winner costs as the pass-based explorer —
+// Figure 14 fidelity is a reproduction target, not just a perf number.
+func TestExplorerEquivalence(t *testing.T) {
+	families := []struct {
+		e qgen.ExprKind
+		n int
+	}{
+		{qgen.E1, 4},
+		{qgen.E2, 4},
+		{qgen.E3, 3},
+		{qgen.E4, 3},
+	}
+	for _, fam := range families {
+		for _, indexed := range []bool{false, true} {
+			for _, seed := range qgen.InstanceSeeds()[:2] {
+				name := fmt.Sprintf("%v/n%d/indexed=%v/seed%d", fam.e, fam.n, indexed, seed)
+				t.Run(name, func(t *testing.T) {
+					// Prairie-generated path.
+					cat := qgen.Catalog(fam.n, seed, indexed)
+					po := oodb.New(cat)
+					prs, err := po.PrairieRules()
+					if err != nil {
+						t.Fatal(err)
+					}
+					pvrs, rep, err := p2v.Translate(prs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ptree, err := qgen.Build(po, fam.e, fam.n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ptree, preq, err := rep.PrepareQuery(ptree, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkEquivalence(t, "prairie", pvrs, ptree, preq)
+
+					// Hand-coded Volcano path.
+					vo := oodb.New(qgen.Catalog(fam.n, seed, indexed))
+					vtree, err := qgen.Build(vo, fam.e, fam.n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkEquivalence(t, "volcano", vo.VolcanoRules(), vtree, core.NewDescriptor(vo.Alg.Props))
+				})
+			}
+		}
+	}
+}
+
+func checkEquivalence(t *testing.T, path string, vrs *volcano.RuleSet, tree *core.Expr, req *core.Descriptor) {
+	t.Helper()
+	pass := optimizeWith(t, vrs, tree, req, volcano.ExplorerPasses)
+	work := optimizeWith(t, vrs, tree, req, volcano.ExplorerWorklist)
+	if pass.groups != work.groups {
+		t.Errorf("%s: groups differ: passes %d, worklist %d", path, pass.groups, work.groups)
+	}
+	if pass.exprs != work.exprs {
+		t.Errorf("%s: exprs differ: passes %d, worklist %d", path, pass.exprs, work.exprs)
+	}
+	if math.Abs(pass.cost-work.cost) > 1e-9*math.Max(1, math.Abs(pass.cost)) {
+		t.Errorf("%s: winner cost differs: passes %g, worklist %g", path, pass.cost, work.cost)
+	}
+}
+
+// TestExplorerEquivalenceOnExhaustion checks both explorers agree that a
+// capped search space is exhausted (the series-ending condition of the
+// figure sweeps).
+func TestExplorerEquivalenceOnExhaustion(t *testing.T) {
+	vo := oodb.New(qgen.Catalog(4, qgen.InstanceSeeds()[0], false))
+	tree, err := qgen.Build(vo, qgen.E4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.NewDescriptor(vo.Alg.Props)
+	for _, kind := range []volcano.ExplorerKind{volcano.ExplorerPasses, volcano.ExplorerWorklist} {
+		opt := volcano.NewOptimizer(vo.VolcanoRules())
+		opt.Opts.Explorer = kind
+		opt.Opts.MaxExprs = 200
+		_, err := opt.Optimize(tree.Clone(), req)
+		if !errors.Is(err, volcano.ErrSpaceExhausted) {
+			t.Errorf("explorer %d: err = %v, want ErrSpaceExhausted", kind, err)
+		}
+	}
+}
+
+// TestOptimizeBatchOODB exercises the concurrent batch API on the real
+// OODB workloads (run with -race in CI): a grid of (family, seed) jobs
+// sharing one rule set must reproduce the sequential group counts.
+func TestOptimizeBatchOODB(t *testing.T) {
+	cat := qgen.Catalog(3, qgen.InstanceSeeds()[0], false)
+	vo := oodb.New(cat)
+	vrs := vo.VolcanoRules()
+	req := core.NewDescriptor(vo.Alg.Props)
+
+	var items []volcano.BatchItem
+	var want []int
+	for _, e := range []qgen.ExprKind{qgen.E1, qgen.E2, qgen.E3, qgen.E4} {
+		tree, err := qgen.Build(vo, e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := volcano.NewOptimizer(vrs)
+		if _, err := seq.Optimize(tree.Clone(), req); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, seq.Stats.Groups)
+		items = append(items, volcano.BatchItem{RS: vrs, Tree: tree, Req: req})
+	}
+	results := volcano.OptimizeBatch(items, 4)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Stats.Groups != want[i] {
+			t.Errorf("item %d: batch groups %d, sequential %d", i, r.Stats.Groups, want[i])
+		}
+	}
+}

@@ -64,6 +64,18 @@ func (b *Binding) Bind(name string, d *Descriptor) {
 // Bound reports whether name is bound.
 func (b *Binding) Bound(name string) bool { return b.lookup(name) != nil }
 
+// Reset clears every binding while keeping the backing storage, so one
+// Binding can be reused across many rule applications without
+// reallocating (the optimizer's exploration hot path).
+func (b *Binding) Reset() { b.entries = b.entries[:0] }
+
+// CopyFrom replaces this binding's entries with src's. Descriptors are
+// shared, not cloned — the receiving binding sees the same descriptor
+// objects, which is exactly what a per-match private binding needs.
+func (b *Binding) CopyFrom(src *Binding) {
+	b.entries = append(b.entries[:0], src.entries...)
+}
+
 // Names returns the bound names, sorted.
 func (b *Binding) Names() []string {
 	out := make([]string, 0, len(b.entries))

@@ -15,6 +15,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -89,6 +91,16 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// JSON renders the table as an indented JSON object, so benchmark
+// sweeps can be archived and diffed across revisions (optbench -json).
+func (t *Table) JSON() (string, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
 // Options tunes the experiment protocol.
 type Options struct {
 	// MaxClasses bounds N per family; zero uses the paper's ranges
@@ -105,6 +117,19 @@ type Options struct {
 	// MaxExprs caps the search space; a point that exhausts it ends its
 	// series (the paper's virtual-memory exhaustion).
 	MaxExprs int
+	// Workers spreads a point's per-seed optimizations over a worker
+	// pool (volcano.OptimizeBatch). 0 or 1 runs sequentially — the
+	// faithful §4.3 timing protocol; higher values trade per-query
+	// timing fidelity for sweep throughput (group counts are
+	// unaffected).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 func (o Options) seeds() []int64 {
@@ -163,7 +188,7 @@ func timeOptimize(vrs *volcano.RuleSet, tree *core.Expr, req *core.Descriptor, r
 			opt.Opts.MaxExprs = maxExprs
 		}
 		_, err := opt.Optimize(tree.Clone(), req)
-		if err == volcano.ErrSpaceExhausted {
+		if errors.Is(err, volcano.ErrSpaceExhausted) {
 			return 0, opt.Stats, true, nil
 		}
 		if err != nil {
@@ -189,66 +214,76 @@ type point struct {
 func runFamily(e qgen.ExprKind, indexed bool, opts Options) ([]point, error) {
 	var out []point
 	for n := 1; n <= opts.maxClasses(e); n++ {
-		var pSum, vSum time.Duration
-		var groups, exprs int
-		exhausted := false
-		reps := opts.repeats(n)
-		for _, seed := range opts.seeds() {
-			cat := qgen.Catalog(n, seed, indexed)
-
-			po, pvrs, rep, err := buildPrairieOODB(cat)
-			if err != nil {
-				return nil, err
-			}
-			tree, err := qgen.Build(po, e, n)
-			if err != nil {
-				return nil, err
-			}
-			tree, req, err := rep.PrepareQuery(tree, nil)
-			if err != nil {
-				return nil, err
-			}
-			pd, pStats, ex, err := timeOptimize(pvrs, tree, req, reps, opts.MaxExprs)
-			if err != nil {
-				return nil, err
-			}
-			if ex {
-				exhausted = true
-				break
-			}
-
-			vo := oodb.New(qgen.Catalog(n, seed, indexed))
-			vvrs := vo.VolcanoRules()
-			vtree, err := qgen.Build(vo, e, n)
-			if err != nil {
-				return nil, err
-			}
-			vreq := core.NewDescriptor(vo.Alg.Props)
-			vd, vStats, ex, err := timeOptimize(vvrs, vtree, vreq, reps, opts.MaxExprs)
-			if err != nil {
-				return nil, err
-			}
-			if ex {
-				exhausted = true
-				break
-			}
-			if pStats.Groups != vStats.Groups {
-				return nil, fmt.Errorf("experiments: %v n=%d seed=%d: equivalence classes differ (prairie %d, volcano %d)",
-					e, n, seed, pStats.Groups, vStats.Groups)
-			}
-			pSum += pd
-			vSum += vd
-			groups = pStats.Groups
-			exprs = pStats.Exprs
+		pt, err := runPoint(e, indexed, n, opts)
+		if err != nil {
+			return nil, err
 		}
-		if exhausted {
-			out = append(out, point{N: n, Exhausted: true})
+		out = append(out, pt)
+		if pt.Exhausted {
 			break
 		}
-		k := time.Duration(len(opts.seeds()))
-		out = append(out, point{N: n, Prairie: pSum / k, Volcano: vSum / k, Groups: groups, Exprs: exprs})
 	}
 	return out, nil
+}
+
+// runPoint measures one (family, N) point. Every catalog seed
+// contributes two jobs — the Prairie-generated and the hand-coded
+// Volcano rule sets — dispatched through the concurrent batch API
+// (sequentially when opts.Workers <= 1, preserving the paper's timing
+// protocol). Both paths must agree on equivalence-class counts.
+func runPoint(e qgen.ExprKind, indexed bool, n int, opts Options) (point, error) {
+	seeds := opts.seeds()
+	reps := opts.repeats(n)
+	vopts := volcano.Options{MaxExprs: opts.MaxExprs}
+	items := make([]volcano.BatchItem, 0, 2*len(seeds))
+	for _, seed := range seeds {
+		cat := qgen.Catalog(n, seed, indexed)
+		po, pvrs, rep, err := buildPrairieOODB(cat)
+		if err != nil {
+			return point{}, err
+		}
+		tree, err := qgen.Build(po, e, n)
+		if err != nil {
+			return point{}, err
+		}
+		tree, req, err := rep.PrepareQuery(tree, nil)
+		if err != nil {
+			return point{}, err
+		}
+		items = append(items, volcano.BatchItem{RS: pvrs, Tree: tree, Req: req, Opts: vopts, Repeats: reps})
+
+		vo := oodb.New(qgen.Catalog(n, seed, indexed))
+		vtree, err := qgen.Build(vo, e, n)
+		if err != nil {
+			return point{}, err
+		}
+		vreq := core.NewDescriptor(vo.Alg.Props)
+		items = append(items, volcano.BatchItem{RS: vo.VolcanoRules(), Tree: vtree, Req: vreq, Opts: vopts, Repeats: reps})
+	}
+	results := volcano.OptimizeBatch(items, opts.workers())
+	pt := point{N: n}
+	var pSum, vSum time.Duration
+	for i := 0; i+1 < len(results); i += 2 {
+		pr, vr := results[i], results[i+1]
+		for _, r := range [2]volcano.BatchResult{pr, vr} {
+			if errors.Is(r.Err, volcano.ErrSpaceExhausted) {
+				return point{N: n, Exhausted: true}, nil
+			}
+			if r.Err != nil {
+				return point{}, r.Err
+			}
+		}
+		if pr.Stats.Groups != vr.Stats.Groups {
+			return point{}, fmt.Errorf("experiments: %v n=%d seed=%d: equivalence classes differ (prairie %d, volcano %d)",
+				e, n, seeds[i/2], pr.Stats.Groups, vr.Stats.Groups)
+		}
+		pSum += pr.Elapsed
+		vSum += vr.Elapsed
+		pt.Groups, pt.Exprs = pr.Stats.Groups, pr.Stats.Exprs
+	}
+	k := time.Duration(len(seeds))
+	pt.Prairie, pt.Volcano = pSum/k, vSum/k
+	return pt, nil
 }
 
 func durMS(d time.Duration) string {
@@ -348,7 +383,7 @@ func Figure14(opts Options) (*Table, error) {
 			if opts.MaxExprs > 0 {
 				opt.Opts.MaxExprs = opts.MaxExprs
 			}
-			if _, err := opt.Optimize(tree, req); err == volcano.ErrSpaceExhausted {
+			if _, err := opt.Optimize(tree, req); errors.Is(err, volcano.ErrSpaceExhausted) {
 				col = append(col, "exhausted")
 				break
 			} else if err != nil {

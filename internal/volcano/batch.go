@@ -1,0 +1,87 @@
+package volcano
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"prairie/internal/core"
+)
+
+// BatchItem is one independent optimization job: a rule set, a query
+// tree, and the required physical properties. Items may share a RuleSet
+// (its dispatch index is built once and read-only afterwards); each job
+// gets its own memo and optimizer.
+type BatchItem struct {
+	RS   *RuleSet
+	Tree *core.Expr
+	Req  *core.Descriptor // nil: no requirement
+	Opts Options
+	// Repeats re-optimizes the item this many times (minimum 1) on fresh
+	// memos, reporting the mean elapsed time — the paper's §4.3 protocol
+	// of timing a query by optimizing in a loop and dividing.
+	Repeats int
+}
+
+// BatchResult is the outcome of one BatchItem.
+type BatchResult struct {
+	Plan    *PExpr
+	Stats   *Stats
+	Elapsed time.Duration // mean per optimization when Repeats > 1
+	Err     error
+}
+
+// OptimizeBatch optimizes independent queries concurrently on a worker
+// pool (workers <= 0 uses GOMAXPROCS). Results are positionally aligned
+// with items. Each worker runs a private Optimizer per item, so the only
+// shared state is the read-only RuleSet; the experiment sweeps use this
+// to spread a figure's (family, N, seed) grid across cores.
+func OptimizeBatch(items []BatchItem, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runBatchItem(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+func runBatchItem(it BatchItem) BatchResult {
+	repeats := it.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var res BatchResult
+	start := time.Now()
+	for r := 0; r < repeats; r++ {
+		opt := NewOptimizer(it.RS)
+		opt.Opts = it.Opts
+		plan, err := opt.Optimize(it.Tree.Clone(), it.Req)
+		if err != nil {
+			return BatchResult{Stats: opt.Stats, Err: err}
+		}
+		res.Plan, res.Stats = plan, opt.Stats
+	}
+	res.Elapsed = time.Since(start) / time.Duration(repeats)
+	return res
+}

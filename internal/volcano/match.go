@@ -8,18 +8,22 @@ import (
 // (patterns deeper than one operator bind interior pattern nodes against
 // the expressions of the corresponding input groups — Volcano's
 // cross-product pattern matching on the memo). fn is invoked once per
-// complete binding; the binding is reused across invocations, so fn must
-// not retain it.
-func (m *Memo) forEachMatch(p *core.PatNode, e *LExpr, b *TBinding, fn func()) {
+// complete binding with whether the binding is fresh: since filters for
+// incremental re-matching, and a binding is fresh when at least one
+// chosen expression was stamped at or after since (the root call passes
+// its own freshness in fresh; pass since=0 and fresh=true to enumerate
+// everything as fresh). The binding is reused across invocations, so fn
+// must not retain it.
+func (m *Memo) forEachMatch(p *core.PatNode, e *LExpr, b *TBinding, since uint64, fresh bool, fn func(fresh bool)) {
 	if p.IsVar() {
 		// A variable leaf matches any group; bind the group and, if the
 		// pattern names a descriptor ("?1:D1"), the group's
 		// representative descriptor (read-only logical information).
-		b.Var[p.Var] = m.Find(e.group)
+		b.SetVar(p.Var, m.Find(e.group))
 		if p.Desc != "" {
 			b.Bind(p.Desc, m.Group(e.group).Rep())
 		}
-		fn()
+		fn(fresh)
 		return
 	}
 	if e.IsLeaf() || e.Op != p.Op {
@@ -28,32 +32,36 @@ func (m *Memo) forEachMatch(p *core.PatNode, e *LExpr, b *TBinding, fn func()) {
 	if p.Desc != "" {
 		b.Bind(p.Desc, e.D)
 	}
-	m.matchKids(p, e, 0, b, fn)
+	m.matchKids(p, e, 0, b, since, fresh, fn)
 }
 
-func (m *Memo) matchKids(p *core.PatNode, e *LExpr, i int, b *TBinding, fn func()) {
+func (m *Memo) matchKids(p *core.PatNode, e *LExpr, i int, b *TBinding, since uint64, fresh bool, fn func(fresh bool)) {
 	if i == len(p.Kids) {
-		fn()
+		fn(fresh)
 		return
 	}
 	kp := p.Kids[i]
 	kid := m.Find(e.Kids[i])
 	if kp.IsVar() {
-		b.Var[kp.Var] = kid
+		// A variable kid binds the whole group: its binding does not
+		// change when the group gains expressions, so it never makes a
+		// binding fresh on its own.
+		b.SetVar(kp.Var, kid)
 		if kp.Desc != "" {
 			b.Bind(kp.Desc, m.Group(kid).Rep())
 		}
-		m.matchKids(p, e, i+1, b, fn)
+		m.matchKids(p, e, i+1, b, since, fresh, fn)
 		return
 	}
-	// Interior kid pattern: try every expression of the input group.
+	// Interior kid pattern: try every expression of the input group; an
+	// expression stamped at or after since makes the binding fresh.
 	g := m.groups[kid]
 	for _, ke := range g.Exprs {
 		if ke.IsLeaf() || ke.Op != kp.Op {
 			continue
 		}
-		m.forEachMatch(kp, ke, b, func() {
-			m.matchKids(p, e, i+1, b, fn)
+		m.forEachMatch(kp, ke, b, since, fresh || ke.seq >= since, func(f bool) {
+			m.matchKids(p, e, i+1, b, since, f, fn)
 		})
 	}
 }
@@ -72,7 +80,7 @@ func (m *Memo) buildRHSNode(p *core.PatNode, b *TBinding, target GroupID) (Group
 		// Descriptor names on RHS variable leaves carry required-property
 		// information in Prairie I-rules; in the purely logical space of
 		// trans_rules they have no effect.
-		return b.Var[p.Var], false
+		return b.VarGroup(p.Var), false
 	}
 	kids := make([]GroupID, len(p.Kids))
 	changed := false
@@ -88,5 +96,5 @@ func (m *Memo) buildRHSNode(p *core.PatNode, b *TBinding, target GroupID) (Group
 
 // newTBinding returns a fresh transformation binding.
 func (m *Memo) newTBinding() *TBinding {
-	return &TBinding{Binding: core.NewBinding(m.rs.Algebra.Props), Var: map[int]GroupID{}}
+	return &TBinding{Binding: core.NewBinding(m.rs.Algebra.Props)}
 }

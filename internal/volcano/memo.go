@@ -24,6 +24,28 @@ type LExpr struct {
 	// group is the canonical group at insertion time; Memo.Find(group)
 	// stays correct across merges.
 	group GroupID
+	// seq is the expression's insertion stamp; the worklist explorer
+	// enumerates only rule bindings that involve at least one expression
+	// newer than its last visit. (Merges are handled by resetting the
+	// affected parents' horizons, not by restamping.)
+	seq uint64
+	// selfHash caches the kid-independent part of the duplicate-
+	// detection key (operator + argument-property projection, or leaf
+	// name); descriptors never change after interning, so Rehash reuses
+	// it instead of re-hashing the descriptor.
+	selfHash uint64
+	// dead marks an expression dropped by Rehash as a duplicate of one
+	// in the same (merged) group; the explorer skips dead expressions.
+	dead bool
+	// queued marks the expression as pending in the explorer's worklist
+	// (owned by the explorer; meaningless outside exploration).
+	queued bool
+	// ruleSince records, per transformation rule matching this root
+	// operator (indexed by position in RuleSet.transFor(Op)), the
+	// insertion-stamp horizon up to which bindings have been enumerated:
+	// 0 = never applied; for shallow rules any non-zero value means done
+	// (owned by the worklist explorer).
+	ruleSince []uint64
 }
 
 // IsLeaf reports whether the expression is a stored-file leaf.
@@ -56,9 +78,13 @@ type Group struct {
 	ID    GroupID
 	Exprs []*LExpr
 	// version increments whenever the group's expression set changes
-	// (insertion, merge, rehash); exploration uses it to skip
-	// re-matching deep patterns against unchanged inputs.
+	// (insertion, merge, rehash); the pass-based explorer uses it to
+	// skip re-matching deep patterns against unchanged inputs.
 	version uint64
+	// maxSeq is the newest insertion stamp among the group's
+	// expressions; the worklist explorer uses it to decide whether a
+	// deep rule can possibly find a new binding.
+	maxSeq uint64
 	// rep is the representative descriptor: the first inserted
 	// expression's. Logical information (cardinality, attributes) is by
 	// construction identical across a group's members.
@@ -68,6 +94,18 @@ type Group struct {
 
 // Rep returns the group's representative descriptor.
 func (g *Group) Rep() *core.Descriptor { return g.rep }
+
+// memoHooks observes memo growth during exploration: the worklist
+// explorer installs one to learn which expressions and groups changed
+// without rescanning the memo.
+type memoHooks interface {
+	// exprAdded fires when a genuinely new expression enters a group
+	// (insertion; not Rehash re-interning).
+	exprAdded(e *LExpr)
+	// groupsMerged fires after two canonical groups merge; winner is the
+	// surviving canonical id.
+	groupsMerged(winner, loser GroupID)
+}
 
 // Memo is the shared search-space store: groups, expressions, and the
 // duplicate-detection index. It implements group merging with union-find
@@ -84,6 +122,12 @@ type Memo struct {
 	merges int
 	// exprCount tracks live expressions for the search-space cap.
 	exprCount int
+	// numGroups tracks live (canonical) equivalence classes so NumGroups
+	// is O(1) instead of scanning the union-find on every Optimize.
+	numGroups int
+	// seq is the monotone insertion-stamp counter (see LExpr.seq).
+	seq   uint64
+	hooks memoHooks
 }
 
 // NewMemo returns an empty memo for the rule set.
@@ -105,15 +149,7 @@ func (m *Memo) Group(id GroupID) *Group { return m.groups[m.Find(id)] }
 
 // NumGroups returns the number of live (canonical) equivalence classes —
 // the quantity plotted in Figure 14 of the paper.
-func (m *Memo) NumGroups() int {
-	n := 0
-	for i := range m.groups {
-		if m.Find(GroupID(i)) == GroupID(i) {
-			n++
-		}
-	}
-	return n
-}
+func (m *Memo) NumGroups() int { return m.numGroups }
 
 // NumExprs returns the number of live logical expressions.
 func (m *Memo) NumExprs() int { return m.exprCount }
@@ -137,7 +173,18 @@ func (m *Memo) newGroup(rep *core.Descriptor) *Group {
 	g := &Group{ID: id, rep: rep, winners: make(map[uint64][]*winnerEntry)}
 	m.groups = append(m.groups, g)
 	m.parent = append(m.parent, id)
+	m.numGroups++
 	return g
+}
+
+// stamp assigns e the next insertion sequence number and lifts its
+// group's maxSeq.
+func (m *Memo) stamp(e *LExpr, g *Group) {
+	m.seq++
+	e.seq = m.seq
+	if m.seq > g.maxSeq {
+		g.maxSeq = m.seq
+	}
 }
 
 // idProps returns the properties that identify an expression of op in
@@ -157,16 +204,20 @@ func (m *Memo) idProps(op *core.Operation) []core.PropID {
 	return out
 }
 
-// exprHash computes the duplicate-detection key of an expression with
-// canonical kid ids.
-func (m *Memo) exprHash(op *core.Operation, file string, d *core.Descriptor, kids []GroupID) uint64 {
-	var h uint64
+// selfHash computes the kid-independent part of an expression's
+// duplicate-detection key.
+func (m *Memo) selfHash(op *core.Operation, file string, d *core.Descriptor) uint64 {
 	if op == nil {
-		h = core.HashCombine(0x1eaf, hashLeafName(file))
-	} else {
-		h = core.HashCombine(0x09, uint64(op.Index()))
-		h = core.HashCombine(h, d.HashOn(m.idProps(op)))
+		return core.HashCombine(0x1eaf, hashLeafName(file))
 	}
+	h := core.HashCombine(0x09, uint64(op.Index()))
+	return core.HashCombine(h, d.HashOn(m.idProps(op)))
+}
+
+// exprHash combines a self hash with canonical kid ids into the full
+// duplicate-detection key.
+func (m *Memo) exprHash(self uint64, kids []GroupID) uint64 {
+	h := self
 	for _, k := range kids {
 		h = core.HashCombine(h, uint64(m.Find(k)))
 	}
@@ -200,9 +251,9 @@ func (m *Memo) exprEqual(e *LExpr, op *core.Operation, file string, d *core.Desc
 	return e.D.EqualOn(d, m.idProps(op))
 }
 
-// lookup returns an existing expression identical to the given one.
-func (m *Memo) lookup(op *core.Operation, file string, d *core.Descriptor, kids []GroupID) *LExpr {
-	h := m.exprHash(op, file, d, kids)
+// lookup returns an existing expression with the given full hash
+// identical to the described one.
+func (m *Memo) lookup(h uint64, op *core.Operation, file string, d *core.Descriptor, kids []GroupID) *LExpr {
 	for _, e := range m.index[h] {
 		if m.exprEqual(e, op, file, d, kids) {
 			return e
@@ -213,15 +264,20 @@ func (m *Memo) lookup(op *core.Operation, file string, d *core.Descriptor, kids 
 
 // InsertLeaf interns a stored-file leaf and returns its group.
 func (m *Memo) InsertLeaf(file string, d *core.Descriptor) GroupID {
-	if e := m.lookup(nil, file, nil, nil); e != nil {
+	self := m.selfHash(nil, file, nil)
+	h := m.exprHash(self, nil)
+	if e := m.lookup(h, nil, file, nil, nil); e != nil {
 		return m.Find(e.group)
 	}
 	g := m.newGroup(d)
-	e := &LExpr{File: file, D: d, group: g.ID}
+	e := &LExpr{File: file, D: d, group: g.ID, selfHash: self}
 	g.Exprs = append(g.Exprs, e)
+	m.stamp(e, g)
 	m.exprCount++
-	h := m.exprHash(nil, file, nil, nil)
 	m.index[h] = append(m.index[h], e)
+	if m.hooks != nil {
+		m.hooks.exprAdded(e)
+	}
 	return g.ID
 }
 
@@ -237,7 +293,9 @@ func (m *Memo) InsertExpr(op *core.Operation, d *core.Descriptor, kids []GroupID
 	for i, k := range kids {
 		canonKids[i] = m.Find(k)
 	}
-	if e := m.lookup(op, "", d, canonKids); e != nil {
+	self := m.selfHash(op, "", d)
+	h := m.exprHash(self, canonKids)
+	if e := m.lookup(h, op, "", d, canonKids); e != nil {
 		eg := m.Find(e.group)
 		if target >= 0 && m.Find(target) != eg {
 			m.merge(m.Find(target), eg)
@@ -251,12 +309,15 @@ func (m *Memo) InsertExpr(op *core.Operation, d *core.Descriptor, kids []GroupID
 	} else {
 		g = m.newGroup(d)
 	}
-	e := &LExpr{Op: op, D: d, Kids: canonKids, group: g.ID}
+	e := &LExpr{Op: op, D: d, Kids: canonKids, group: g.ID, selfHash: self}
 	g.Exprs = append(g.Exprs, e)
 	g.version++
+	m.stamp(e, g)
 	m.exprCount++
-	h := m.exprHash(op, "", d, canonKids)
 	m.index[h] = append(m.index[h], e)
+	if m.hooks != nil {
+		m.hooks.exprAdded(e)
+	}
 	return g.ID, true
 }
 
@@ -266,6 +327,7 @@ func (m *Memo) merge(a, b GroupID) {
 		return
 	}
 	m.merges++
+	m.numGroups--
 	ga, gb := m.groups[a], m.groups[b]
 	// Keep the group with more expressions to move less.
 	if len(gb.Exprs) > len(ga.Exprs) {
@@ -278,6 +340,9 @@ func (m *Memo) merge(a, b GroupID) {
 	}
 	ga.Exprs = append(ga.Exprs, gb.Exprs...)
 	ga.version += gb.version + 1
+	if gb.maxSeq > ga.maxSeq {
+		ga.maxSeq = gb.maxSeq
+	}
 	gb.Exprs = nil
 	// Winners computed before a merge would be stale; merging only
 	// happens during exploration, before any winner exists, but clear
@@ -286,6 +351,9 @@ func (m *Memo) merge(a, b GroupID) {
 		delete(gb.winners, k)
 	}
 	m.dirty = true
+	if m.hooks != nil {
+		m.hooks.groupsMerged(a, b)
+	}
 }
 
 // Dirty reports whether a merge has invalidated the duplicate index.
@@ -323,13 +391,16 @@ func (m *Memo) Rehash() {
 
 // reinsert re-interns an expression into (the canonical version of) its
 // group during Rehash, merging groups when the expression now duplicates
-// one elsewhere.
+// one elsewhere. Duplicates are marked dead so the explorer's worklist
+// and parent back-pointers skip them.
 func (m *Memo) reinsert(e *LExpr, target GroupID) {
 	target = m.Find(target)
 	for i := range e.Kids {
 		e.Kids[i] = m.Find(e.Kids[i])
 	}
-	if dup := m.lookup(e.Op, e.File, e.D, e.Kids); dup != nil {
+	h := m.exprHash(e.selfHash, e.Kids)
+	if dup := m.lookup(h, e.Op, e.File, e.D, e.Kids); dup != nil {
+		e.dead = true
 		if dg := m.Find(dup.group); dg != target {
 			m.merge(dg, target)
 		}
@@ -339,8 +410,10 @@ func (m *Memo) reinsert(e *LExpr, target GroupID) {
 	g := m.groups[target]
 	g.Exprs = append(g.Exprs, e)
 	g.version++
+	if e.seq > g.maxSeq {
+		g.maxSeq = e.seq
+	}
 	m.exprCount++
-	h := m.exprHash(e.Op, e.File, e.D, e.Kids)
 	m.index[h] = append(m.index[h], e)
 }
 

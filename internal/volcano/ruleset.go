@@ -12,6 +12,7 @@ package volcano
 
 import (
 	"fmt"
+	"sync"
 
 	"prairie/internal/core"
 )
@@ -49,10 +50,45 @@ func containsProp(ids []core.PropID, id core.PropID) bool {
 
 // TBinding is the environment a transformation rule runs in: descriptor
 // variables (inherited from core.Binding) plus pattern-variable bindings
-// to memo groups.
+// to memo groups. Pattern variables are small dense integers, so the
+// group bindings are slice-backed; the engine reuses TBindings across
+// matches, so rule hooks must not retain one.
 type TBinding struct {
 	*core.Binding
-	Var map[int]GroupID
+	vars []GroupID // indexed by pattern-variable id; groupUnbound if unset
+}
+
+// groupUnbound marks an unbound pattern variable.
+const groupUnbound = GroupID(-1)
+
+// SetVar binds pattern variable v to group g.
+func (b *TBinding) SetVar(v int, g GroupID) {
+	for len(b.vars) <= v {
+		b.vars = append(b.vars, groupUnbound)
+	}
+	b.vars[v] = g
+}
+
+// VarGroup returns the group bound to pattern variable v (groupUnbound
+// if the variable is not bound).
+func (b *TBinding) VarGroup(v int) GroupID {
+	if v < len(b.vars) {
+		return b.vars[v]
+	}
+	return groupUnbound
+}
+
+// reset clears the binding for reuse, keeping backing storage.
+func (b *TBinding) reset() {
+	b.Binding.Reset()
+	b.vars = b.vars[:0]
+}
+
+// copyFrom replaces this binding's contents with src's (descriptors and
+// groups are shared, not cloned).
+func (b *TBinding) copyFrom(src *TBinding) {
+	b.Binding.CopyFrom(src.Binding)
+	b.vars = append(b.vars[:0], src.vars...)
 }
 
 // TransRule is a Volcano trans_rule: a directed logical-to-logical
@@ -135,6 +171,11 @@ func (e *Enforcer) String() string {
 
 // RuleSet is a complete Volcano optimizer specification: the algebra, the
 // property classification, and the rules. It is consumed by Optimizer.
+//
+// A RuleSet is immutable once the first Optimizer runs over it: the
+// operator-indexed rule dispatch tables are built exactly once (on first
+// use) and are then shared — including across the concurrent optimizers
+// of OptimizeBatch, which all read the same RuleSet.
 type RuleSet struct {
 	Algebra   *core.Algebra
 	Class     Classification
@@ -145,7 +186,60 @@ type RuleSet struct {
 	// least the sum of its inputs' costs, enabling branch-and-bound
 	// pruning while inputs are optimized.
 	MonotonicCosts bool
+
+	indexOnce sync.Once
+	idx       *ruleIndex
 }
+
+// transEntry is one transformation rule in the operator index, carrying
+// its global position (for per-rule counters) and whether its pattern is
+// depth-1 (applied once per expression, never re-matched).
+type transEntry struct {
+	rule    *TransRule
+	idx     int
+	shallow bool
+}
+
+// implEntry is one implementation rule in the operator index.
+type implEntry struct {
+	rule *ImplRule
+	idx  int
+}
+
+// ruleIndex maps a root operator to the rules that can possibly match an
+// expression with that operator, replacing the engine's linear
+// rule-list scans. It is built once per RuleSet and read-only afterwards.
+type ruleIndex struct {
+	trans map[*core.Operation][]transEntry
+	impls map[*core.Operation][]implEntry
+}
+
+// index returns the operator-indexed dispatch tables, building them on
+// first use. Safe for concurrent callers; the rule set must not be
+// mutated after the first call.
+func (rs *RuleSet) index() *ruleIndex {
+	rs.indexOnce.Do(func() {
+		ix := &ruleIndex{
+			trans: make(map[*core.Operation][]transEntry),
+			impls: make(map[*core.Operation][]implEntry),
+		}
+		for i, r := range rs.Trans {
+			ix.trans[r.LHS.Op] = append(ix.trans[r.LHS.Op],
+				transEntry{rule: r, idx: i, shallow: r.LHS.Depth() <= 1})
+		}
+		for i, r := range rs.Impls {
+			ix.impls[r.Op] = append(ix.impls[r.Op], implEntry{rule: r, idx: i})
+		}
+		rs.idx = ix
+	})
+	return rs.idx
+}
+
+// transFor returns the transformation rules whose LHS root is op.
+func (rs *RuleSet) transFor(op *core.Operation) []transEntry { return rs.index().trans[op] }
+
+// implsFor returns the implementation rules for op.
+func (rs *RuleSet) implsFor(op *core.Operation) []implEntry { return rs.index().impls[op] }
 
 // NewRuleSet returns an empty rule set with a default classification
 // (cost = the algebra's single COST property, everything else argument).

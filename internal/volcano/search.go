@@ -10,20 +10,38 @@ import (
 
 // ErrSpaceExhausted is returned when the search space exceeds the
 // optimizer's expression limit — the analogue of the paper's experiments
-// exhausting virtual memory on large queries.
+// exhausting virtual memory on large queries. The returned error wraps
+// this sentinel with memo statistics (test with errors.Is).
 var ErrSpaceExhausted = errors.New("volcano: search space exhausted (expression limit reached)")
 
 // ErrNoPlan is returned when no access plan satisfies the requested
 // physical properties.
 var ErrNoPlan = errors.New("volcano: no feasible access plan")
 
+// ExplorerKind selects the exploration strategy.
+type ExplorerKind int
+
+const (
+	// ExplorerWorklist (the default) drives exploration from a
+	// dependency worklist: when a group gains an expression, only the
+	// expressions referencing that group as an input are revisited.
+	ExplorerWorklist ExplorerKind = iota
+	// ExplorerPasses is the original strategy: global fixpoint passes
+	// re-scanning every (expression, rule) pair. Kept as the reference
+	// implementation for the equivalence harness.
+	ExplorerPasses
+)
+
 // Options tunes the optimizer.
 type Options struct {
 	// MaxExprs caps the number of logical expressions (0 = default).
 	MaxExprs int
 	// MaxPasses caps exploration fixpoint passes (0 = default); hitting
-	// it indicates a diverging rule set.
+	// it indicates a diverging rule set. The worklist explorer counts a
+	// pass per drain-rehash cycle.
 	MaxPasses int
+	// Explorer selects the exploration strategy (default worklist).
+	Explorer ExplorerKind
 }
 
 // DefaultMaxExprs is the default search-space cap.
@@ -36,6 +54,9 @@ const DefaultMaxPasses = 10_000
 // memo to the transformation fixpoint, then computes the cheapest access
 // plan per (equivalence class, required physical properties) with
 // memoized winners and branch-and-bound pruning.
+//
+// An Optimizer is not safe for concurrent use; run one per goroutine
+// (they may share a RuleSet — see OptimizeBatch).
 type Optimizer struct {
 	RS    *RuleSet
 	Memo  *Memo
@@ -44,6 +65,14 @@ type Optimizer struct {
 	// OnEvent, when set, receives a trace of rule firings, costed and
 	// rejected alternatives, enforcer applications, and winners.
 	OnEvent func(Event)
+
+	// scratch bindings reused across every rule application (exploration
+	// is single-threaded per optimizer); rule hooks must not retain them.
+	scratchB, scratchRB *TBinding
+	// per-rule counters indexed by position in RS.Trans; flushed into the
+	// name-keyed Stats maps when exploration ends so the hot loop never
+	// hashes rule names.
+	transMatchedN, transFiredN []int
 }
 
 // NewOptimizer returns an optimizer over a fresh memo.
@@ -89,12 +118,283 @@ func (o *Optimizer) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, err
 	return plan, nil
 }
 
-// explore applies transformation rules to a global fixpoint with
-// duplicate elimination: the constraint-driven expansion of the search
-// space. Deep patterns (depth > 1) are retried every pass because new
-// expressions in input groups can enable new bindings; depth-1 rules are
-// applied once per (expression, rule).
+// spaceExhausted wraps ErrSpaceExhausted with the memo statistics at the
+// moment the limit was hit, so E3/E4 blowups are diagnosable from the
+// error alone.
+func (o *Optimizer) spaceExhausted(queue int) error {
+	return fmt.Errorf("%w: groups=%d exprs=%d merges=%d passes=%d queue=%d",
+		ErrSpaceExhausted, o.Memo.NumGroups(), o.Memo.NumExprs(),
+		o.Memo.Merges(), o.Stats.Passes, queue)
+}
+
+// explore expands the memo to the transformation fixpoint with duplicate
+// elimination — the constraint-driven expansion of the search space.
 func (o *Optimizer) explore() error {
+	o.initRuleCounters()
+	defer o.flushRuleCounters()
+	if o.Opts.Explorer == ExplorerPasses {
+		return o.explorePasses()
+	}
+	return o.exploreWorklist()
+}
+
+func (o *Optimizer) initRuleCounters() {
+	if o.transMatchedN == nil {
+		o.transMatchedN = make([]int, len(o.RS.Trans))
+		o.transFiredN = make([]int, len(o.RS.Trans))
+	}
+}
+
+func (o *Optimizer) flushRuleCounters() {
+	for i, n := range o.transMatchedN {
+		if n != 0 {
+			o.Stats.TransMatched[o.RS.Trans[i].Name] += n
+			o.transMatchedN[i] = 0
+		}
+	}
+	for i, n := range o.transFiredN {
+		if n != 0 {
+			o.Stats.TransFired[o.RS.Trans[i].Name] += n
+			o.transFiredN[i] = 0
+		}
+	}
+}
+
+// explorer is the dependency-driven worklist state. It implements
+// memoHooks so memo growth feeds the queue directly: a new expression is
+// enqueued itself and re-enqueues the parents of the group it joined;
+// merged groups are restamped after Rehash so cross-group bindings read
+// as new to their parents.
+type explorer struct {
+	o *Optimizer
+	m *Memo
+	// queue is a FIFO of expressions whose rule bindings may have grown;
+	// head indexes the next entry (slice is reused, not popped).
+	queue []*LExpr
+	head  int
+	// parents maps a canonical group id to the expressions that
+	// reference it as a direct input — the back edges along which
+	// change propagates.
+	parents map[GroupID][]*LExpr
+	// merged accumulates surviving canonical group ids of merges since
+	// the last Rehash; afterRehash restamps them and wakes their parents.
+	merged []GroupID
+}
+
+func (x *explorer) push(e *LExpr) {
+	if e.dead || e.queued || e.IsLeaf() {
+		return
+	}
+	e.queued = true
+	x.queue = append(x.queue, e)
+	if depth := len(x.queue) - x.head; depth > x.o.Stats.MaxQueue {
+		x.o.Stats.MaxQueue = depth
+	}
+}
+
+func (x *explorer) pop() *LExpr {
+	for x.head < len(x.queue) {
+		e := x.queue[x.head]
+		x.head++
+		e.queued = false
+		if e.dead {
+			continue
+		}
+		return e
+	}
+	x.queue = x.queue[:0]
+	x.head = 0
+	return nil
+}
+
+func (x *explorer) depth() int { return len(x.queue) - x.head }
+
+// hasWork reports whether a live expression is pending, discarding dead
+// entries at the front.
+func (x *explorer) hasWork() bool {
+	for x.head < len(x.queue) {
+		if !x.queue[x.head].dead {
+			return true
+		}
+		x.queue[x.head].queued = false
+		x.head++
+	}
+	x.queue = x.queue[:0]
+	x.head = 0
+	return false
+}
+
+// addParents registers e as a parent of each of its input groups.
+func (x *explorer) addParents(e *LExpr) {
+	for _, k := range e.Kids {
+		kg := x.m.Find(k)
+		x.parents[kg] = append(x.parents[kg], e)
+	}
+}
+
+// seed loads the initial memo (the inserted query tree) into the
+// worklist and parent index; hooks take over from there.
+func (x *explorer) seed() {
+	for _, g := range x.m.Groups() {
+		for _, e := range g.Exprs {
+			if e.dead {
+				continue
+			}
+			x.addParents(e)
+			x.push(e)
+		}
+	}
+}
+
+// exprAdded (memoHooks) fires on genuinely new expressions: the
+// expression itself may root new bindings, and the group it joined is a
+// new input alternative for every parent expression.
+func (x *explorer) exprAdded(e *LExpr) {
+	x.addParents(e)
+	x.push(e)
+	for _, p := range x.parents[x.m.Find(e.group)] {
+		x.push(p)
+	}
+}
+
+// groupsMerged (memoHooks) moves the loser's parent list to the winner.
+// Waking the parents is deferred to afterRehash: mid-Rehash the winner's
+// expression set is still being rebuilt.
+func (x *explorer) groupsMerged(winner, loser GroupID) {
+	x.parents[winner] = append(x.parents[winner], x.parents[loser]...)
+	delete(x.parents, loser)
+	x.merged = append(x.merged, winner)
+}
+
+// afterRehash wakes the parents of every group that survived a merge:
+// the union made each side's expressions newly visible to the other
+// side's parents, so each parent gets one full re-enumeration (its deep
+// horizons reset to zero — the same semantics as the pass-based
+// explorer's kid-version fingerprint going stale). Resetting horizons
+// instead of restamping the group keeps the merge local: other parents'
+// incremental filters are unaffected.
+func (x *explorer) afterRehash() {
+	for _, gid := range x.merged {
+		g := x.m.Find(gid)
+		for _, p := range x.parents[g] {
+			if p.dead {
+				continue
+			}
+			x.resetDeepHorizons(p)
+			x.push(p)
+		}
+	}
+	x.merged = x.merged[:0]
+}
+
+// resetDeepHorizons forces full re-enumeration of p's deep rules on its
+// next visit. Shallow rules stay done: their bindings reference input
+// groups wholesale and are unaffected by group contents.
+func (x *explorer) resetDeepHorizons(p *LExpr) {
+	if p.ruleSince == nil {
+		return
+	}
+	for i, te := range x.o.RS.transFor(p.Op) {
+		if !te.shallow {
+			p.ruleSince[i] = 0
+		}
+	}
+}
+
+// anyKidNewer reports whether any direct input group of e gained an
+// expression at or after since — the cheap gate deciding whether a deep
+// rule can possibly find a new binding (matching the pass-based
+// explorer's direct-kid fingerprint: grand-kid growth alone never
+// retriggers, and the repository's rule patterns are depth ≤ 2).
+func (x *explorer) anyKidNewer(e *LExpr, since uint64) bool {
+	for _, k := range e.Kids {
+		if x.m.Group(k).maxSeq >= since {
+			return true
+		}
+	}
+	return false
+}
+
+// process applies every transformation rule rooted at e's operator,
+// enumerating only bindings not seen at the previous visit.
+func (x *explorer) process(e *LExpr) error {
+	o, m := x.o, x.m
+	entries := o.RS.transFor(e.Op)
+	if len(entries) == 0 {
+		return nil
+	}
+	if e.ruleSince == nil {
+		e.ruleSince = make([]uint64, len(entries))
+	}
+	for i := range entries {
+		te := &entries[i]
+		if te.shallow {
+			// A depth-1 pattern binds e and whole input groups; its
+			// binding set never grows, so one application suffices.
+			if e.ruleSince[i] != 0 {
+				continue
+			}
+			e.ruleSince[i] = 1
+			o.applyTrans(te.rule, te.idx, e, 0)
+		} else {
+			since := e.ruleSince[i]
+			if since != 0 && e.seq < since && !x.anyKidNewer(e, since) {
+				continue
+			}
+			// Expressions inserted by this very application stamp at or
+			// above the horizon, so self-induced growth is re-examined
+			// on the next visit (the insertion hook re-enqueues e).
+			horizon := m.seq + 1
+			o.applyTrans(te.rule, te.idx, e, since)
+			e.ruleSince[i] = horizon
+		}
+		if m.NumExprs() > o.maxExprs() {
+			return o.spaceExhausted(x.depth())
+		}
+	}
+	return nil
+}
+
+// exploreWorklist reaches the same fixpoint as explorePasses (memo
+// insertion is monotone, so any order of rule applications converges to
+// the same closure) but touches only expressions whose binding sets can
+// actually have grown. Duplicate elimination runs eagerly — as soon as a
+// merge dirties the index — so duplicates collapse before stale index
+// lookups can cascade them into further spurious groups and merges; each
+// rehash round counts as a pass against MaxPasses.
+func (o *Optimizer) exploreWorklist() error {
+	m := o.Memo
+	x := &explorer{o: o, m: m, parents: make(map[GroupID][]*LExpr)}
+	x.seed()
+	m.hooks = x
+	defer func() { m.hooks = nil }()
+	o.Stats.Passes = 1
+	for {
+		e := x.pop()
+		if e != nil {
+			if err := x.process(e); err != nil {
+				return err
+			}
+		}
+		if m.Dirty() {
+			m.Rehash()
+			x.afterRehash()
+			o.Stats.Passes++
+			if o.Stats.Passes > o.maxPasses() && x.hasWork() {
+				return fmt.Errorf("volcano: exploration did not converge in %d passes", o.maxPasses())
+			}
+		}
+		if e == nil && !x.hasWork() {
+			return nil
+		}
+	}
+}
+
+// explorePasses is the original strategy: global fixpoint passes over
+// every (expression × rule) pair. Deep patterns (depth > 1) are retried
+// every pass because new expressions in input groups can enable new
+// bindings; depth-1 rules are applied once per (expression, rule).
+func (o *Optimizer) explorePasses() error {
 	m := o.Memo
 	type ruleMark struct {
 		e *LExpr
@@ -128,26 +428,22 @@ func (o *Optimizer) explore() error {
 				if e.IsLeaf() {
 					continue
 				}
-				for ri, rule := range o.RS.Trans {
-					if rule.LHS.Op != e.Op {
-						continue
-					}
-					shallow := rule.LHS.Depth() <= 1
-					mark := ruleMark{e, ri}
-					if shallow && done[mark] {
+				for _, te := range o.RS.transFor(e.Op) {
+					mark := ruleMark{e, te.idx}
+					if te.shallow && done[mark] {
 						continue
 					}
 					var fp uint64
-					if !shallow {
+					if !te.shallow {
 						fp = kidFingerprint(e)
 						if last, ok := deepSeen[mark]; ok && last == fp {
 							continue
 						}
 					}
-					if o.applyTrans(rule, e) {
+					if o.applyTrans(te.rule, te.idx, e, 0) {
 						changed = true
 					}
-					if shallow {
+					if te.shallow {
 						done[mark] = true
 					} else {
 						// Applying the rule may itself have grown the
@@ -156,7 +452,7 @@ func (o *Optimizer) explore() error {
 						deepSeen[mark] = fp
 					}
 					if m.NumExprs() > o.maxExprs() {
-						return ErrSpaceExhausted
+						return o.spaceExhausted(0)
 					}
 				}
 			}
@@ -172,28 +468,34 @@ func (o *Optimizer) explore() error {
 }
 
 // applyTrans fires one transformation rule on one expression for every
-// binding; it reports whether the memo changed.
-func (o *Optimizer) applyTrans(rule *TransRule, e *LExpr) bool {
+// binding involving at least one expression stamped at or after since
+// (0 enumerates everything); it reports whether the memo changed. The
+// two scratch bindings are reused across all applications: b is the
+// match environment, rb the per-match private copy the rule's hooks run
+// in (LHS descriptors shared read-only, RHS descriptors created fresh
+// by the actions).
+func (o *Optimizer) applyTrans(rule *TransRule, ri int, e *LExpr, since uint64) bool {
 	m := o.Memo
 	changed := false
-	b := m.newTBinding()
-	m.forEachMatch(rule.LHS, e, b, func() {
-		o.Stats.TransMatched[rule.Name]++
-		// Run the rule's actions on a private binding: LHS descriptors
-		// are shared (read-only), RHS descriptors are created fresh per
-		// match by the actions.
-		rb := m.newTBinding()
-		for _, name := range b.Names() {
-			rb.Bind(name, b.D(name))
+	if o.scratchB == nil {
+		o.scratchB = m.newTBinding()
+		o.scratchRB = m.newTBinding()
+	}
+	b, rb := o.scratchB, o.scratchRB
+	b.reset()
+	m.forEachMatch(rule.LHS, e, b, since, e.seq >= since, func(fresh bool) {
+		if !fresh {
+			return
 		}
-		for v, g := range b.Var {
-			rb.Var[v] = g
-		}
+		o.transMatchedN[ri]++
+		rb.copyFrom(b)
 		if rule.Cond != nil && !rule.Cond(rb) {
 			return
 		}
-		o.Stats.TransFired[rule.Name]++
-		o.emit(EventTransFired, rule.Name, m.Find(e.group), e.String(), 0)
+		o.transFiredN[ri]++
+		if o.OnEvent != nil {
+			o.emit(EventTransFired, rule.Name, m.Find(e.group), e.String(), 0)
+		}
 		if rule.Appl != nil {
 			rule.Appl(rb)
 		}
@@ -231,7 +533,7 @@ func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, 
 		return nil, 0, err
 	}
 	w.plan, w.cost = best, bestCost
-	if best != nil {
+	if best != nil && o.OnEvent != nil {
 		o.emit(EventWinner, "", g, reqString(req, o.RS.Class.Phys)+" -> "+best.String(), bestCost)
 	}
 	return best, bestCost, nil
@@ -259,10 +561,8 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 			}
 			continue
 		}
-		for _, rule := range o.RS.Impls {
-			if rule.Op != e.Op {
-				continue
-			}
+		for _, ie := range o.RS.implsFor(e.Op) {
+			rule := ie.rule
 			o.Stats.ImplMatched[rule.Name]++
 			cx := &ImplCtx{
 				OpDesc: mergeReq(e.D, req, phys),
@@ -313,7 +613,9 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 				o.emit(EventImplRejected, rule.Name, grp.ID, "required properties unsatisfied", 0)
 				continue
 			}
-			o.emit(EventImplCosted, rule.Name, grp.ID, rule.Alg.Name, algD.Float(costID))
+			if o.OnEvent != nil {
+				o.emit(EventImplCosted, rule.Name, grp.ID, rule.Alg.Name, algD.Float(costID))
+			}
 			consider(&PExpr{Alg: rule.Alg, D: algD, Kids: kids}, algD.Float(costID))
 		}
 	}
@@ -348,7 +650,9 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 			continue
 		}
 		o.Stats.EnfFired[enf.Name]++
-		o.emit(EventEnforcerApplied, enf.Name, grp.ID, enf.Alg.Name, algD.Float(costID))
+		if o.OnEvent != nil {
+			o.emit(EventEnforcerApplied, enf.Name, grp.ID, enf.Alg.Name, algD.Float(costID))
+		}
 		consider(&PExpr{Alg: enf.Alg, D: algD, Kids: []*PExpr{plan}}, algD.Float(costID))
 	}
 
@@ -370,11 +674,23 @@ func (o *Optimizer) enforcerApplies(enf *Enforcer, cx *ImplCtx) bool {
 	return false
 }
 
-// mergeReq returns a copy of d with the explicitly-set physical
-// properties of req overriding d's — the descriptor an implementation
-// rule sees as its operator's (requirements flow top-down in Prairie by
-// assigning input descriptors' properties, §2.4).
+// mergeReq returns d with the explicitly-set physical properties of req
+// overriding d's — the descriptor an implementation rule sees as its
+// operator's (requirements flow top-down in Prairie by assigning input
+// descriptors' properties, §2.4). When req sets no physical property the
+// result is d itself, uncloned: rule hooks treat OpDesc as read-only,
+// so the alias is safe and saves a descriptor clone per alternative.
 func mergeReq(d, req *core.Descriptor, phys []core.PropID) *core.Descriptor {
+	overrides := false
+	for _, p := range phys {
+		if req.Has(p) {
+			overrides = true
+			break
+		}
+	}
+	if !overrides {
+		return d
+	}
 	out := d.Clone()
 	for _, p := range phys {
 		if req.Has(p) {

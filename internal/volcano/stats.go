@@ -10,10 +10,11 @@ import (
 // paper are read off these: equivalence-class counts drive Figure 14,
 // distinct matched rules drive Table 5.
 type Stats struct {
-	Groups int // equivalence classes after optimization
-	Exprs  int // logical expressions after optimization
-	Merges int // group merges (rediscovered equivalences)
-	Passes int // exploration fixpoint passes
+	Groups   int // equivalence classes after optimization
+	Exprs    int // logical expressions after optimization
+	Merges   int // group merges (rediscovered equivalences)
+	Passes   int // exploration fixpoint passes (drain cycles for the worklist)
+	MaxQueue int // peak worklist depth (0 under the pass-based explorer)
 
 	TransMatched map[string]int // structural LHS matches per trans_rule
 	TransFired   map[string]int // matches whose cond_code passed
@@ -64,8 +65,8 @@ func countNonZero(m map[string]int) int {
 // String renders a compact multi-line summary.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "groups=%d exprs=%d merges=%d passes=%d winners=%d costed=%d pruned=%d\n",
-		s.Groups, s.Exprs, s.Merges, s.Passes, s.Winners, s.CostedPlans, s.Pruned)
+	fmt.Fprintf(&b, "groups=%d exprs=%d merges=%d passes=%d queue=%d winners=%d costed=%d pruned=%d\n",
+		s.Groups, s.Exprs, s.Merges, s.Passes, s.MaxQueue, s.Winners, s.CostedPlans, s.Pruned)
 	fmt.Fprintf(&b, "trans matched=%d fired=%d; impl matched=%d fired=%d\n",
 		s.DistinctTransMatched(), countNonZero(s.TransFired),
 		s.DistinctImplMatched(), s.DistinctImplFired())

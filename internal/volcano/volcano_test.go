@@ -1,6 +1,7 @@
 package volcano
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -436,7 +437,7 @@ func TestOptimizeSpaceLimit(t *testing.T) {
 	o := NewOptimizer(w.rs)
 	o.Opts.MaxExprs = 3
 	_, err := o.Optimize(w.chain(8, 4, 2), nil)
-	if err != ErrSpaceExhausted {
+	if !errors.Is(err, ErrSpaceExhausted) {
 		t.Errorf("err = %v, want ErrSpaceExhausted", err)
 	}
 }
@@ -700,7 +701,7 @@ func TestBottomUpSpaceLimit(t *testing.T) {
 	w := newTestWorld()
 	bu := NewBottomUp(w.rs)
 	bu.Opts.MaxExprs = 3
-	if _, err := bu.Optimize(w.chain(8, 4, 2), nil); err != ErrSpaceExhausted {
+	if _, err := bu.Optimize(w.chain(8, 4, 2), nil); !errors.Is(err, ErrSpaceExhausted) {
 		t.Errorf("err = %v", err)
 	}
 }
