@@ -10,11 +10,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -timeout backstops regressions that hang (e.g. a wedged batch worker)
+# instead of letting CI stall until the job-level kill.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 300s ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 600s ./...
 
 # A short benchmark smoke: three iterations of the figure benchmarks that
 # stress the search engine hardest (E3/E4 sweeps and the exploration

@@ -8,6 +8,11 @@
 //	optbench -experiment all
 //	optbench -experiment fig10 -maxclasses 6 -repeats 10 -csv
 //	optbench -experiment fig13 -workers 8 -json > BENCH_fig13.json
+//	optbench -experiment fig13 -max-exprs 5000 -degrade -timeout 50ms
+//
+// With -timeout or -degrade, over-budget points return gracefully
+// degraded plans and are marked '*' in the tables instead of ending
+// their series with 'exhausted'.
 package main
 
 import (
@@ -24,6 +29,11 @@ func main() {
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
+	flag.IntVar(maxExprs, "max-exprs", 0, "alias for -maxexprs")
+	timeout := flag.Duration("timeout", 0,
+		"per-optimization wall-clock budget (0 = none); points over budget degrade and are marked '*'")
+	degrade := flag.Bool("degrade", false,
+		"treat -maxexprs as a soft budget: over-budget points return degraded plans (marked '*') and sweeps continue instead of ending the series")
 	workers := flag.Int("workers", 1,
 		"concurrent optimizations per sweep point (<=1 sequential; parallel runs distort per-query times)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -35,6 +45,8 @@ func main() {
 		Repeats:    *repeats,
 		MaxExprs:   *maxExprs,
 		Workers:    *workers,
+		Timeout:    *timeout,
+		Degrade:    *degrade,
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "optbench:", err)

@@ -32,6 +32,10 @@ func main() {
 	baseline := flag.Bool("volcano", false, "use the hand-coded Volcano rule set instead of the Prairie-generated one")
 	strategy := flag.String("strategy", "topdown", "search strategy: topdown or bottomup")
 	trace := flag.Bool("trace", false, "print a trace of rule firings and costed alternatives")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock optimization budget (topdown only, 0 = none); over budget, a degraded plan is returned")
+	budgetExprs := flag.Int("budget-exprs", 0,
+		"soft cap on memo expressions (topdown only, 0 = none); over budget, a degraded plan is returned")
 	flag.Parse()
 
 	var family qgen.ExprKind
@@ -84,6 +88,7 @@ func main() {
 	switch *strategy {
 	case "topdown":
 		opt := volcano.NewOptimizer(vrs)
+		opt.Opts.Budget = volcano.Budget{Timeout: *timeout, MaxExprs: *budgetExprs}
 		if *trace {
 			opt.OnEvent = func(e volcano.Event) { fmt.Println(e) }
 		}
@@ -98,6 +103,9 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if stats.Degraded {
+		fmt.Printf("budget exhausted (%s): plan degraded via %s\n\n", stats.DegradeCause, stats.DegradePath)
 	}
 	fmt.Printf("winning plan (cost %.1f):\n  %s\n\n", plan.Cost(vrs.Class), plan)
 	fmt.Print(plan.Explain(vrs.Class))

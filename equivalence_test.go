@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"prairie/internal/core"
+	"prairie/internal/data"
+	"prairie/internal/exec"
 	"prairie/internal/oodb"
 	"prairie/internal/p2v"
 	"prairie/internal/qgen"
@@ -123,6 +125,96 @@ func TestExplorerEquivalenceOnExhaustion(t *testing.T) {
 		if !errors.Is(err, volcano.ErrSpaceExhausted) {
 			t.Errorf("explorer %d: err = %v, want ErrSpaceExhausted", kind, err)
 		}
+	}
+}
+
+// TestDegradedE4ReturnsExecutablePlan is the ISSUE's acceptance case:
+// an E4 chain query at N=4 — which exhausts the search space before the
+// default expression cap on unbudgeted runs — must, under a tight
+// budget, return a valid plan marked Degraded instead of
+// ErrSpaceExhausted, and that plan must actually execute.
+func TestDegradedE4ReturnsExecutablePlan(t *testing.T) {
+	seed := qgen.InstanceSeeds()[0]
+	cat := qgen.Catalog(4, seed, false)
+	vo := oodb.New(cat)
+	tree, err := qgen.Build(vo, qgen.E4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.NewDescriptor(vo.Alg.Props)
+
+	// Sanity: the same query with the budget as a hard cap fails.
+	hard := volcano.NewOptimizer(vo.VolcanoRules())
+	hard.Opts.MaxExprs = 5000
+	if _, err := hard.Optimize(tree.Clone(), req); !errors.Is(err, volcano.ErrSpaceExhausted) {
+		t.Fatalf("hard cap: err = %v, want ErrSpaceExhausted", err)
+	}
+
+	opt := volcano.NewOptimizer(vo.VolcanoRules())
+	opt.Opts.Budget = volcano.Budget{MaxExprs: 5000}
+	plan, err := opt.Optimize(tree.Clone(), req)
+	if err != nil {
+		t.Fatalf("budgeted E4 n=4 failed instead of degrading: %v", err)
+	}
+	if !opt.Stats.Degraded || opt.Stats.DegradeCause != volcano.CauseMaxExprs {
+		t.Errorf("not marked degraded: %+v", opt.Stats)
+	}
+	pe := plan.ToExpr()
+	if !pe.IsPlan() {
+		t.Fatalf("degraded result is not an access plan: %s", plan)
+	}
+	if got, want := len(pe.Leaves()), len(tree.Leaves()); got != want {
+		t.Fatalf("degraded plan covers %d stored files, want %d", got, want)
+	}
+	// Executable, not just well-formed: compile and run it on synthetic
+	// data (the optshell -execute path).
+	db := data.Populate(cat, seed, 32)
+	comp := exec.NewCompiler(db, exec.Props{
+		Ord: vo.Ord, JP: vo.JP, SP: vo.SP, PA: vo.PA, MA: vo.MA, UA: vo.UA,
+	})
+	it, err := comp.Compile(pe)
+	if err != nil {
+		t.Fatalf("degraded plan does not compile: %v", err)
+	}
+	if _, err := exec.Run(it); err != nil {
+		t.Fatalf("degraded plan does not execute: %v", err)
+	}
+}
+
+// TestDegradedCostBoundedByFullSearch: on a workload small enough to
+// optimize fully, a budget-degraded plan must still be structurally
+// valid and can only cost more than (or equal to) the unbudgeted
+// winner.
+func TestDegradedCostBoundedByFullSearch(t *testing.T) {
+	seed := qgen.InstanceSeeds()[0]
+	vo := oodb.New(qgen.Catalog(4, seed, false))
+	tree, err := qgen.Build(vo, qgen.E1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.NewDescriptor(vo.Alg.Props)
+	vrs := vo.VolcanoRules()
+
+	full := volcano.NewOptimizer(vrs)
+	best, err := full.Optimize(tree.Clone(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := volcano.NewOptimizer(vrs)
+	deg.Opts.Budget = volcano.Budget{MaxRuleFirings: 1}
+	plan, err := deg.Optimize(tree.Clone(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Stats.Degraded {
+		t.Fatal("run did not degrade under a 1-firing budget")
+	}
+	if !plan.ToExpr().IsPlan() || len(plan.ToExpr().Leaves()) != len(tree.Leaves()) {
+		t.Errorf("degraded plan structurally invalid: %s", plan)
+	}
+	costID := vrs.Class.Cost
+	if got, want := plan.D.Float(costID), best.D.Float(costID); got < want {
+		t.Errorf("degraded plan cost %g beats unbudgeted winner %g", got, want)
 	}
 }
 

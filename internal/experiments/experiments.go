@@ -115,7 +115,8 @@ type Options struct {
 	// five).
 	Seeds []int64
 	// MaxExprs caps the search space; a point that exhausts it ends its
-	// series (the paper's virtual-memory exhaustion).
+	// series (the paper's virtual-memory exhaustion) — unless Degrade is
+	// set, which turns the cap into a soft budget.
 	MaxExprs int
 	// Workers spreads a point's per-seed optimizations over a worker
 	// pool (volcano.OptimizeBatch). 0 or 1 runs sequentially — the
@@ -123,6 +124,29 @@ type Options struct {
 	// timing fidelity for sweep throughput (group counts are
 	// unaffected).
 	Workers int
+	// Timeout budgets each optimization's wall clock; a point that hits
+	// it reports a degraded measurement (marked '*') instead of ending
+	// the series.
+	Timeout time.Duration
+	// Degrade treats MaxExprs as a soft volcano.Budget: budget-exhausted
+	// points return degraded plans, are marked explicitly in the tables,
+	// and the sweep continues to larger N — the industrial
+	// timeout-and-fallback protocol rather than the paper's
+	// memory-exhaustion stop.
+	Degrade bool
+}
+
+// volcanoOpts translates the protocol options into engine options: a
+// Timeout always degrades; with Degrade set the expression cap does too
+// (the engine's default hard cap stays as a backstop).
+func (o Options) volcanoOpts() volcano.Options {
+	vo := volcano.Options{MaxExprs: o.MaxExprs}
+	vo.Budget.Timeout = o.Timeout
+	if o.Degrade {
+		vo.Budget.MaxExprs = o.MaxExprs
+		vo.MaxExprs = 0
+	}
+	return vo
 }
 
 func (o Options) workers() int {
@@ -179,20 +203,18 @@ func buildPrairieOODB(cat *catalog.Catalog) (*oodb.Opt, *volcano.RuleSet, *p2v.R
 // timeOptimize measures average per-query optimization time. It returns
 // the elapsed time per optimization, the search statistics of the last
 // run, and whether the search space was exhausted.
-func timeOptimize(vrs *volcano.RuleSet, tree *core.Expr, req *core.Descriptor, repeats, maxExprs int) (time.Duration, *volcano.Stats, bool, error) {
+func timeOptimize(vrs *volcano.RuleSet, tree *core.Expr, req *core.Descriptor, repeats int, vopts volcano.Options) (time.Duration, *volcano.Stats, bool, error) {
 	var stats *volcano.Stats
 	start := time.Now()
 	for i := 0; i < repeats; i++ {
 		opt := volcano.NewOptimizer(vrs)
-		if maxExprs > 0 {
-			opt.Opts.MaxExprs = maxExprs
-		}
+		opt.Opts = vopts
 		_, err := opt.Optimize(tree.Clone(), req)
 		if errors.Is(err, volcano.ErrSpaceExhausted) {
 			return 0, opt.Stats, true, nil
 		}
 		if err != nil {
-			return 0, nil, false, err
+			return 0, opt.Stats, false, err
 		}
 		stats = opt.Stats
 	}
@@ -207,6 +229,10 @@ type point struct {
 	Groups    int
 	Exprs     int
 	Exhausted bool
+	// Degraded marks a point where at least one optimization hit its
+	// Budget and returned a degraded plan; its timings are reported (and
+	// flagged) rather than dropped, and the series continues.
+	Degraded bool
 }
 
 // runFamily measures the optimization-time series for one query (an
@@ -234,7 +260,7 @@ func runFamily(e qgen.ExprKind, indexed bool, opts Options) ([]point, error) {
 func runPoint(e qgen.ExprKind, indexed bool, n int, opts Options) (point, error) {
 	seeds := opts.seeds()
 	reps := opts.repeats(n)
-	vopts := volcano.Options{MaxExprs: opts.MaxExprs}
+	vopts := opts.volcanoOpts()
 	items := make([]volcano.BatchItem, 0, 2*len(seeds))
 	for _, seed := range seeds {
 		cat := qgen.Catalog(n, seed, indexed)
@@ -272,8 +298,14 @@ func runPoint(e qgen.ExprKind, indexed bool, n int, opts Options) (point, error)
 			if r.Err != nil {
 				return point{}, r.Err
 			}
+			if r.Stats.Degraded {
+				pt.Degraded = true
+			}
 		}
-		if pr.Stats.Groups != vr.Stats.Groups {
+		// Degraded runs explore differing fractions of the space before
+		// their budgets trip, so class counts are only comparable on
+		// complete searches.
+		if !pt.Degraded && pr.Stats.Groups != vr.Stats.Groups {
 			return point{}, fmt.Errorf("experiments: %v n=%d seed=%d: equivalence classes differ (prairie %d, volcano %d)",
 				e, n, seeds[i/2], pr.Stats.Groups, vr.Stats.Groups)
 		}
@@ -326,6 +358,7 @@ func Figure(num int, opts Options) (*Table, error) {
 		Notes: []string{
 			"each point averages 5 catalog instances (Section 4.3 protocol)",
 			"'exhausted' marks search-space exhaustion (the paper's virtual-memory limit)",
+			"'*' marks a degraded point: the budget tripped and the plan came from graceful degradation",
 		},
 	}
 	for i := 0; i < len(plain) || i < len(indexed); i++ {
@@ -340,8 +373,12 @@ func Figure(num int, opts Options) (*Table, error) {
 				row[col], row[col+1] = "exhausted", "exhausted"
 				return
 			}
-			row[col] = durMS(pts[i].Prairie)
-			row[col+1] = durMS(pts[i].Volcano)
+			mark := ""
+			if pts[i].Degraded {
+				mark = "*"
+			}
+			row[col] = durMS(pts[i].Prairie) + mark
+			row[col+1] = durMS(pts[i].Volcano) + mark
 			if col == 1 {
 				row[5] = fmt.Sprintf("%d", pts[i].Groups)
 			}
@@ -359,6 +396,7 @@ func Figure14(opts Options) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 14: equivalence classes vs joins (identical for Prairie and Volcano)",
 		Header: []string{"joins", "E1", "E2", "E3", "E4"},
+		Notes:  []string{"'*' marks a degraded point: the class count is the partial closure explored before the budget tripped"},
 	}
 	families := []qgen.ExprKind{qgen.E1, qgen.E2, qgen.E3, qgen.E4}
 	series := map[qgen.ExprKind][]string{}
@@ -380,16 +418,18 @@ func Figure14(opts Options) (*Table, error) {
 				return nil, err
 			}
 			opt := volcano.NewOptimizer(vrs)
-			if opts.MaxExprs > 0 {
-				opt.Opts.MaxExprs = opts.MaxExprs
-			}
+			opt.Opts = opts.volcanoOpts()
 			if _, err := opt.Optimize(tree, req); errors.Is(err, volcano.ErrSpaceExhausted) {
 				col = append(col, "exhausted")
 				break
 			} else if err != nil {
 				return nil, err
 			}
-			col = append(col, fmt.Sprintf("%d", opt.Stats.Groups))
+			cell := fmt.Sprintf("%d", opt.Stats.Groups)
+			if opt.Stats.Degraded {
+				cell += "*" // partial closure: the budget tripped
+			}
+			col = append(col, cell)
 		}
 		series[e] = col
 		if len(col) > maxLen {
@@ -442,9 +482,7 @@ func Table5(n int, opts Options) (*Table, error) {
 			return nil, err
 		}
 		opt := volcano.NewOptimizer(vrs)
-		if opts.MaxExprs > 0 {
-			opt.Opts.MaxExprs = opts.MaxExprs
-		}
+		opt.Opts = opts.volcanoOpts()
 		if _, err := opt.Optimize(tree, req); err != nil {
 			return nil, err
 		}
@@ -560,7 +598,7 @@ func Relopt(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			pd, pStats, _, err := timeOptimize(pvrs, tree, req, reps, opts.MaxExprs)
+			pd, pStats, _, err := timeOptimize(pvrs, tree, req, reps, opts.volcanoOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -570,7 +608,7 @@ func Relopt(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			vd, _, _, err := timeOptimize(vo.VolcanoRules(), vtree, vo.Requirement(q), reps, opts.MaxExprs)
+			vd, _, _, err := timeOptimize(vo.VolcanoRules(), vtree, vo.Requirement(q), reps, opts.volcanoOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -614,7 +652,7 @@ func StarGraphs(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			d, stats, exhausted, err := timeOptimize(vrs, tree, req, opts.repeats(n), opts.MaxExprs)
+			d, stats, exhausted, err := timeOptimize(vrs, tree, req, opts.repeats(n), opts.volcanoOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -622,7 +660,11 @@ func StarGraphs(opts Options) (*Table, error) {
 				cells[gi] = [2]string{"exhausted", "exhausted"}
 				continue
 			}
-			cells[gi] = [2]string{fmt.Sprintf("%d", stats.Groups), durMS(d)}
+			mark := ""
+			if stats.Degraded {
+				mark = "*"
+			}
+			cells[gi] = [2]string{fmt.Sprintf("%d", stats.Groups) + mark, durMS(d) + mark}
 		}
 		row = append(row, cells[0][0], cells[1][0], cells[0][1], cells[1][1])
 		t.Rows = append(t.Rows, row)

@@ -96,6 +96,37 @@ func TestFigureExhaustion(t *testing.T) {
 	}
 }
 
+// TestFigureDegraded: with Degrade on, the same budget that ends a
+// series with 'exhausted' instead yields '*'-marked points and the
+// sweep runs to its full length.
+func TestFigureDegraded(t *testing.T) {
+	opts := fastOpts()
+	opts.MaxClasses = 3
+	opts.MaxExprs = 10
+	opts.Degrade = true
+	tab, err := Figure(10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Errorf("degraded sweep stopped early: %d rows\n%s", len(tab.Rows), tab)
+	}
+	starred := false
+	for _, row := range tab.Rows {
+		for _, c := range row {
+			if c == "exhausted" {
+				t.Errorf("degraded sweep still reports exhaustion:\n%s", tab)
+			}
+			if strings.HasSuffix(c, "*") {
+				starred = true
+			}
+		}
+	}
+	if !starred {
+		t.Errorf("expected a '*'-marked degraded point:\n%s", tab)
+	}
+}
+
 func TestFigure14(t *testing.T) {
 	tab, err := Figure14(fastOpts())
 	if err != nil {

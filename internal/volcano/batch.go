@@ -1,6 +1,8 @@
 package volcano
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -17,13 +19,29 @@ type BatchItem struct {
 	Tree *core.Expr
 	Req  *core.Descriptor // nil: no requirement
 	Opts Options
+	// Timeout bounds each optimization of this item (0 = none). It is
+	// merged into Opts.Budget.Timeout (the tighter of the two wins), so
+	// hitting it yields a degraded plan, not an error — see Budget.
+	Timeout time.Duration
 	// Repeats re-optimizes the item this many times (minimum 1) on fresh
 	// memos, reporting the mean elapsed time — the paper's §4.3 protocol
 	// of timing a query by optimizing in a loop and dividing.
 	Repeats int
 }
 
-// BatchResult is the outcome of one BatchItem.
+// options resolves the item's effective optimizer options, folding the
+// per-item Timeout into the budget.
+func (it BatchItem) options() Options {
+	opts := it.Opts
+	if it.Timeout > 0 && (opts.Budget.Timeout <= 0 || it.Timeout < opts.Budget.Timeout) {
+		opts.Budget.Timeout = it.Timeout
+	}
+	return opts
+}
+
+// BatchResult is the outcome of one BatchItem. On error, Stats describe
+// the failing run's partial work and Elapsed is the mean over the
+// attempts actually made; a panicking rule hook surfaces here as Err.
 type BatchResult struct {
 	Plan    *PExpr
 	Stats   *Stats
@@ -37,6 +55,17 @@ type BatchResult struct {
 // shared state is the read-only RuleSet; the experiment sweeps use this
 // to spread a figure's (family, N, seed) grid across cores.
 func OptimizeBatch(items []BatchItem, workers int) []BatchResult {
+	return OptimizeBatchContext(context.Background(), items, workers)
+}
+
+// OptimizeBatchContext is OptimizeBatch under a batch-level context:
+// once ctx is cancelled, items not yet started fail fast with ctx's
+// error, and items in flight degrade per OptimizeContext. The call
+// always returns a fully-populated, positionally-aligned result slice.
+func OptimizeBatchContext(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -47,41 +76,69 @@ func OptimizeBatch(items []BatchItem, workers int) []BatchResult {
 	if len(items) == 0 {
 		return results
 	}
-	next := make(chan int)
+	// The queue is buffered with every index up front so no goroutine
+	// ever blocks feeding it: a worker that dies cannot wedge the batch.
+	// (Workers additionally recover per-item panics — see runBatchItem —
+	// so a panicking rule hook costs one item, not the whole pool.)
+	next := make(chan int, len(items))
+	for i := range items {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = runBatchItem(items[i])
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Err: err}
+					continue
+				}
+				results[i] = runBatchItem(ctx, items[i])
 			}
 		}()
 	}
-	for i := range items {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return results
 }
 
-func runBatchItem(it BatchItem) BatchResult {
+func runBatchItem(ctx context.Context, it BatchItem) (res BatchResult) {
 	repeats := it.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	var res BatchResult
 	start := time.Now()
+	attempts := 0
+	var opt *Optimizer
+	defer func() {
+		if r := recover(); r != nil {
+			res = BatchResult{Err: fmt.Errorf("volcano: batch item panicked: %v", r)}
+			if opt != nil {
+				res.Stats = opt.Stats
+			}
+		}
+		// Error, panic, and success paths all report the mean elapsed
+		// time over the attempts actually made, never zero work-time for
+		// work that was done.
+		if res.Elapsed == 0 {
+			if attempts < 1 {
+				attempts = 1
+			}
+			res.Elapsed = time.Since(start) / time.Duration(attempts)
+		}
+	}()
+	opts := it.options()
 	for r := 0; r < repeats; r++ {
-		opt := NewOptimizer(it.RS)
-		opt.Opts = it.Opts
-		plan, err := opt.Optimize(it.Tree.Clone(), it.Req)
+		attempts = r + 1
+		opt = NewOptimizer(it.RS)
+		opt.Opts = opts
+		plan, err := opt.OptimizeContext(ctx, it.Tree.Clone(), it.Req)
 		if err != nil {
-			return BatchResult{Stats: opt.Stats, Err: err}
+			res = BatchResult{Stats: opt.Stats, Err: err}
+			return
 		}
 		res.Plan, res.Stats = plan, opt.Stats
 	}
-	res.Elapsed = time.Since(start) / time.Duration(repeats)
-	return res
+	return
 }

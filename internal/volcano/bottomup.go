@@ -49,14 +49,42 @@ type vecEntry struct {
 // Optimize maps an initialized operator tree to its cheapest plan under
 // req's physical properties, bottom-up.
 func (o *BottomUp) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	return o.plan(tree, req, true)
+}
+
+// GreedyPlan is the cheap baseline the budgeted search degrades to: it
+// plans tree without any exploration. The memo holds exactly the
+// query's own operator tree (no transformation rule ever fires), and
+// winners are computed bottom-up over that single shape — discovery and
+// dynamic programming as usual, minus phase 0. Cost is linear-ish in
+// the tree size, so it always terminates quickly and, whenever the
+// original shape is implementable under req, always returns a plan.
+func GreedyPlan(rs *RuleSet, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	return greedyPlan(rs, tree, req, NewStats())
+}
+
+// greedyPlan is GreedyPlan accumulating into the caller's Stats (the
+// degrade path merges the fallback's costing counters into the
+// interrupted run's diagnostics).
+func greedyPlan(rs *RuleSet, tree *core.Expr, req *core.Descriptor, stats *Stats) (*PExpr, error) {
+	bu := &BottomUp{RS: rs, Memo: NewMemo(rs), Stats: stats}
+	return bu.plan(tree, req, false)
+}
+
+// plan drives the three bottom-up phases; explore selects whether phase
+// 0 (memo expansion to the transformation fixpoint) runs at all.
+func (o *BottomUp) plan(tree *core.Expr, req *core.Descriptor, explore bool) (*PExpr, error) {
 	if req == nil {
 		req = core.NewDescriptor(o.RS.Algebra.Props)
 	}
 	root := o.Memo.Insert(tree)
 	// Phase 0: shared exploration.
 	td := &Optimizer{RS: o.RS, Memo: o.Memo, Stats: o.Stats, Opts: o.Opts}
-	if err := td.explore(); err != nil {
-		return nil, err
+	if explore {
+		if err := td.explore(); err != nil {
+			td.recordMemoStats()
+			return nil, err
+		}
 	}
 	root = o.Memo.Find(root)
 
@@ -66,15 +94,14 @@ func (o *BottomUp) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, erro
 	// Phase 2: dynamic programming in dependency order.
 	order, err := o.topoOrder(root)
 	if err != nil {
+		td.recordMemoStats()
 		return nil, err
 	}
 	for _, g := range order {
 		o.costGroup(g, vectors[g], td)
 	}
 
-	o.Stats.Groups = o.Memo.NumGroups()
-	o.Stats.Exprs = o.Memo.NumExprs()
-	o.Stats.Merges = o.Memo.Merges()
+	td.recordMemoStats()
 	plan, _, err := td.findBest(root, req) // table hit: everything is memoized
 	if err != nil {
 		return nil, err

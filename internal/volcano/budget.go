@@ -1,0 +1,216 @@
+package volcano
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Budget bounds the resources one optimization may consume. Unlike the
+// hard Options.MaxExprs cap (which fails with ErrSpaceExhausted, the
+// paper's virtual-memory wall), exceeding a Budget degrades gracefully:
+// the optimizer stops exploring, salvages the best plan it can from the
+// already-explored memo, and falls back to a greedy bottom-up plan of
+// the original tree if no complete winner exists. The plan is marked in
+// Stats (Degraded, DegradeCause, DegradePath) — production optimizers
+// bound search effort and always return *a* plan rather than none.
+//
+// Zero values disable the corresponding dimension; a zero Budget (and a
+// background context) leaves the search entirely ungoverned, with
+// results identical to an unbudgeted run.
+type Budget struct {
+	// Timeout is the wall-clock bound for the whole optimization
+	// (exploration plus costing); a context deadline, if earlier, wins.
+	Timeout time.Duration
+	// MaxExprs caps live logical expressions in the memo (soft; compare
+	// Options.MaxExprs, the hard error cap).
+	MaxExprs int
+	// MaxGroups caps live equivalence classes.
+	MaxGroups int
+	// MaxRuleFirings caps transformation-rule firings (matches whose
+	// condition passed).
+	MaxRuleFirings int
+}
+
+// IsZero reports whether every dimension is disabled.
+func (b Budget) IsZero() bool {
+	return b.Timeout <= 0 && b.MaxExprs <= 0 && b.MaxGroups <= 0 && b.MaxRuleFirings <= 0
+}
+
+// Cause identifies which resource bound interrupted a search.
+type Cause int
+
+const (
+	// CauseNone: the search completed within its budget.
+	CauseNone Cause = iota
+	// CauseCancelled: the context was cancelled.
+	CauseCancelled
+	// CauseDeadline: the wall-clock budget (or context deadline) passed.
+	CauseDeadline
+	// CauseMaxExprs: the expression budget was reached.
+	CauseMaxExprs
+	// CauseMaxGroups: the group budget was reached.
+	CauseMaxGroups
+	// CauseMaxRuleFirings: the rule-firing budget was reached.
+	CauseMaxRuleFirings
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseCancelled:
+		return "cancelled"
+	case CauseDeadline:
+		return "deadline"
+	case CauseMaxExprs:
+		return "max-exprs"
+	case CauseMaxGroups:
+		return "max-groups"
+	case CauseMaxRuleFirings:
+		return "max-rule-firings"
+	}
+	return "unknown"
+}
+
+// How a degraded plan was produced (Stats.DegradePath).
+const (
+	// DegradePathMemo: a complete winner was salvaged from the
+	// partially-explored memo.
+	DegradePathMemo = "memo-best"
+	// DegradePathBottomUp: no complete winner existed; the plan is the
+	// greedy bottom-up baseline over the original tree.
+	DegradePathBottomUp = "bottom-up"
+)
+
+// budgetState is the per-run resource accounting of one OptimizeContext
+// call. The counter caps are checked on every checkpoint (three integer
+// compares); the clock and the context — the expensive checks — only on
+// every 64th.
+type budgetState struct {
+	ctx      context.Context
+	budget   Budget
+	deadline time.Time
+	timed    bool
+	// active gates all checkpoints: false for unbudgeted background
+	// runs, so the hot loops pay a single branch.
+	active bool
+	// salvage marks degraded-mode costing: the soft deadline no longer
+	// applies (the salvage pass is allowed to finish), only hard
+	// cancellation interrupts.
+	salvage bool
+	ticks   int
+	fired   int
+	cause   Cause
+}
+
+// beginRun initializes budget accounting for one optimization and
+// performs one immediate clock/context check, so a context that is
+// already cancelled (or a deadline already passed) is seen even by
+// searches too small to reach a periodic checkpoint.
+func (o *Optimizer) beginRun(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := o.Opts.Budget
+	o.run = budgetState{ctx: ctx, budget: b}
+	r := &o.run
+	if b.Timeout > 0 {
+		r.deadline = time.Now().Add(b.Timeout)
+		r.timed = true
+	}
+	if d, ok := ctx.Deadline(); ok && (!r.timed || d.Before(r.deadline)) {
+		r.deadline = d
+		r.timed = true
+	}
+	r.active = r.timed || ctx.Done() != nil || !b.IsZero()
+	if r.active {
+		o.overTime()
+	}
+}
+
+// overBudget is the exploration checkpoint. It reports whether the run
+// is out of budget, latching the first cause.
+func (o *Optimizer) overBudget() bool {
+	r := &o.run
+	if !r.active {
+		return false
+	}
+	if r.cause != CauseNone {
+		return true
+	}
+	b := r.budget
+	switch {
+	case b.MaxExprs > 0 && o.Memo.NumExprs() >= b.MaxExprs:
+		r.cause = CauseMaxExprs
+	case b.MaxGroups > 0 && o.Memo.NumGroups() >= b.MaxGroups:
+		r.cause = CauseMaxGroups
+	case b.MaxRuleFirings > 0 && r.fired >= b.MaxRuleFirings:
+		r.cause = CauseMaxRuleFirings
+	}
+	if r.cause != CauseNone {
+		return true
+	}
+	r.ticks++
+	if r.ticks&63 != 0 {
+		return false
+	}
+	return o.overTime()
+}
+
+// overBudgetCosting is the costing-phase checkpoint. Only time and
+// cancellation apply — the counter caps are exploration resources — and
+// in salvage mode only cancellation does.
+func (o *Optimizer) overBudgetCosting() bool {
+	r := &o.run
+	if !r.active {
+		return false
+	}
+	if r.salvage {
+		if r.ctx.Done() == nil {
+			return false
+		}
+		r.ticks++
+		if r.ticks&63 != 0 {
+			return false
+		}
+		select {
+		case <-r.ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	if r.cause != CauseNone {
+		return true
+	}
+	r.ticks++
+	if r.ticks&63 != 0 {
+		return false
+	}
+	return o.overTime()
+}
+
+// overTime runs the expensive checks: context cancellation, then the
+// wall clock.
+func (o *Optimizer) overTime() bool {
+	r := &o.run
+	if r.cause != CauseNone {
+		return true
+	}
+	select {
+	case <-r.ctx.Done():
+		if errors.Is(r.ctx.Err(), context.DeadlineExceeded) {
+			r.cause = CauseDeadline
+		} else {
+			r.cause = CauseCancelled
+		}
+		return true
+	default:
+	}
+	if r.timed && !time.Now().Before(r.deadline) {
+		r.cause = CauseDeadline
+		return true
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package volcano
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"prairie/internal/core"
+)
+
+// degradedPlan runs a budgeted optimization that must degrade and
+// checks the invariants every degraded result shares: no error, a
+// structurally valid plan over all relations, and a marked Stats.
+func degradedPlan(t *testing.T, w *testWorld, o *Optimizer, ctx context.Context, wantCause Cause) *PExpr {
+	t.Helper()
+	tree := w.chain(16, 8, 4, 2)
+	plan, err := o.OptimizeContext(ctx, tree, nil)
+	if err != nil {
+		t.Fatalf("budgeted optimize failed instead of degrading: %v", err)
+	}
+	if plan == nil {
+		t.Fatal("nil plan without error")
+	}
+	e := plan.ToExpr()
+	if !e.IsPlan() {
+		t.Errorf("degraded result is not an access plan: %s", plan)
+	}
+	if got := len(e.Leaves()); got != 4 {
+		t.Errorf("degraded plan covers %d relations, want 4", got)
+	}
+	if !o.Stats.Degraded {
+		t.Error("Stats.Degraded not set")
+	}
+	if o.Stats.DegradeCause != wantCause {
+		t.Errorf("DegradeCause = %s, want %s", o.Stats.DegradeCause, wantCause)
+	}
+	if o.Stats.DegradePath == "" {
+		t.Error("DegradePath not set")
+	}
+	if o.Stats.Groups == 0 || o.Stats.Exprs == 0 {
+		t.Errorf("partial stats not recorded: groups=%d exprs=%d", o.Stats.Groups, o.Stats.Exprs)
+	}
+	return plan
+}
+
+func TestBudgetMaxExprsDegrades(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	o.Opts.Budget = Budget{MaxExprs: 5}
+	degradedPlan(t, w, o, context.Background(), CauseMaxExprs)
+}
+
+func TestBudgetMaxGroupsDegrades(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	o.Opts.Budget = Budget{MaxGroups: 3}
+	degradedPlan(t, w, o, context.Background(), CauseMaxGroups)
+}
+
+func TestBudgetMaxRuleFiringsDegrades(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	o.Opts.Budget = Budget{MaxRuleFirings: 1}
+	degradedPlan(t, w, o, context.Background(), CauseMaxRuleFirings)
+	if f := o.run.fired; f < 1 {
+		t.Errorf("fired = %d before tripping a 1-firing budget", f)
+	}
+}
+
+func TestBudgetDeadlineDegrades(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	o.Opts.Budget = Budget{Timeout: time.Nanosecond}
+	degradedPlan(t, w, o, context.Background(), CauseDeadline)
+}
+
+func TestContextDeadlineDegrades(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	degradedPlan(t, w, o, ctx, CauseDeadline)
+}
+
+func TestCancellationDegradesToBottomUp(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	degradedPlan(t, w, o, ctx, CauseCancelled)
+	// A hard cancel skips memo salvage: the plan must come from the
+	// greedy bottom-up baseline.
+	if o.Stats.DegradePath != DegradePathBottomUp {
+		t.Errorf("DegradePath = %q, want %q", o.Stats.DegradePath, DegradePathBottomUp)
+	}
+}
+
+// TestDegradedCostNoBetterThanFull: degradation can only lose plan
+// quality, never invent a cheaper-than-optimal winner.
+func TestDegradedCostNoBetterThanFull(t *testing.T) {
+	full := newTestWorld()
+	fo := NewOptimizer(full.rs)
+	best, err := fo.Optimize(full.chain(16, 8, 4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	o.Opts.Budget = Budget{MaxExprs: 5}
+	plan := degradedPlan(t, w, o, context.Background(), CauseMaxExprs)
+	if got, want := plan.Cost(w.rs.Class), best.Cost(full.rs.Class); got < want {
+		t.Errorf("degraded cost %g beats full-search winner %g", got, want)
+	}
+}
+
+// TestUnbudgetedRunNotDegraded: with a background context and zero
+// Budget the governed path must be indistinguishable from the old one.
+func TestUnbudgetedRunNotDegraded(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	plain, err := o.OptimizeContext(context.Background(), w.chain(16, 8, 4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.Degraded || o.Stats.DegradeCause != CauseNone || o.Stats.DegradePath != "" {
+		t.Errorf("unbudgeted run marked degraded: %+v", o.Stats)
+	}
+	ref := newTestWorld()
+	ro := NewOptimizer(ref.rs)
+	want, err := ro.Optimize(ref.chain(16, 8, 4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.Groups != ro.Stats.Groups || o.Stats.Exprs != ro.Stats.Exprs {
+		t.Errorf("context path changed the search: groups %d/%d exprs %d/%d",
+			o.Stats.Groups, ro.Stats.Groups, o.Stats.Exprs, ro.Stats.Exprs)
+	}
+	if plain.Cost(w.rs.Class) != want.Cost(ref.rs.Class) {
+		t.Errorf("winner cost differs: %g vs %g", plain.Cost(w.rs.Class), want.Cost(ref.rs.Class))
+	}
+}
+
+// TestBudgetBothExplorers: degradation must work under the pass-based
+// reference explorer too.
+func TestBudgetBothExplorers(t *testing.T) {
+	for _, kind := range []ExplorerKind{ExplorerWorklist, ExplorerPasses} {
+		w := newTestWorld()
+		o := NewOptimizer(w.rs)
+		o.Opts.Explorer = kind
+		o.Opts.Budget = Budget{MaxExprs: 5}
+		degradedPlan(t, w, o, context.Background(), CauseMaxExprs)
+	}
+}
+
+// TestStatsFlushedOnExhaustion: the hard-cap error path must still
+// report the partial work — memo counters and per-rule maps (they feed
+// degradation diagnostics and the enriched error).
+func TestStatsFlushedOnExhaustion(t *testing.T) {
+	w := newTestWorld()
+	o := NewOptimizer(w.rs)
+	o.Opts.MaxExprs = 3
+	_, err := o.Optimize(w.chain(8, 4, 2), nil)
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if o.Stats.Groups == 0 || o.Stats.Exprs == 0 {
+		t.Errorf("memo stats not recorded on error: groups=%d exprs=%d", o.Stats.Groups, o.Stats.Exprs)
+	}
+	total := 0
+	for _, n := range o.Stats.TransMatched {
+		total += n
+	}
+	if total == 0 {
+		t.Error("per-rule counters not flushed on the exhaustion path")
+	}
+}
+
+// TestGreedyPlanStandalone: the fallback planner on its own produces a
+// valid plan of the original shape without firing any transformation.
+func TestGreedyPlanStandalone(t *testing.T) {
+	w := newTestWorld()
+	plan, err := GreedyPlan(w.rs, w.chain(8, 4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.ToExpr().IsPlan() || len(plan.ToExpr().Leaves()) != 3 {
+		t.Errorf("greedy plan invalid: %s", plan)
+	}
+	// Compare: the full search can only match or beat the greedy cost.
+	full := newTestWorld()
+	fo := NewOptimizer(full.rs)
+	best, err := fo.Optimize(full.chain(8, 4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost(w.rs.Class) < best.Cost(full.rs.Class) {
+		t.Errorf("greedy %g beats full search %g", plan.Cost(w.rs.Class), best.Cost(full.rs.Class))
+	}
+}
+
+// TestBudgetInfeasibleRequirement: when even the fallback cannot satisfy
+// the requirement, the degraded search reports an error rather than a
+// bogus plan.
+func TestBudgetInfeasibleRequirement(t *testing.T) {
+	w := newTestWorld()
+	w.rs.Enforcers = nil
+	var impls []*ImplRule
+	for _, r := range w.rs.Impls {
+		if r.Name != "join_merge_join" {
+			impls = append(impls, r)
+		}
+	}
+	w.rs.Impls = impls
+	o := NewOptimizer(w.rs)
+	o.Opts.Budget = Budget{MaxExprs: 1}
+	req := w.alg.NewDesc()
+	req.Set(w.ord, core.OrderBy(core.A("R1", "a")))
+	if _, err := o.Optimize(w.retOf(w.leaf("R1", 8, core.A("R1", "a"))), req); err == nil {
+		t.Error("expected an error for an unsatisfiable degraded search")
+	}
+}

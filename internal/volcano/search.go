@@ -1,6 +1,7 @@
 package volcano
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,11 @@ var ErrSpaceExhausted = errors.New("volcano: search space exhausted (expression 
 // ErrNoPlan is returned when no access plan satisfies the requested
 // physical properties.
 var ErrNoPlan = errors.New("volcano: no feasible access plan")
+
+// errBudget is the internal interrupt signal: exploration or costing hit
+// the run's Budget or its context was cancelled. It never escapes
+// OptimizeContext — the degrade path turns it into a plan.
+var errBudget = errors.New("volcano: budget interrupted")
 
 // ExplorerKind selects the exploration strategy.
 type ExplorerKind int
@@ -35,6 +41,8 @@ const (
 // Options tunes the optimizer.
 type Options struct {
 	// MaxExprs caps the number of logical expressions (0 = default).
+	// This is the hard cap: exceeding it fails with ErrSpaceExhausted.
+	// For a soft cap that degrades to a plan instead, see Budget.
 	MaxExprs int
 	// MaxPasses caps exploration fixpoint passes (0 = default); hitting
 	// it indicates a diverging rule set. The worklist explorer counts a
@@ -42,6 +50,10 @@ type Options struct {
 	MaxPasses int
 	// Explorer selects the exploration strategy (default worklist).
 	Explorer ExplorerKind
+	// Budget bounds search effort softly: exceeding any dimension makes
+	// the optimizer return a degraded plan rather than an error. A zero
+	// Budget leaves behaviour identical to previous releases.
+	Budget Budget
 }
 
 // DefaultMaxExprs is the default search-space cap.
@@ -70,9 +82,14 @@ type Optimizer struct {
 	// is single-threaded per optimizer); rule hooks must not retain them.
 	scratchB, scratchRB *TBinding
 	// per-rule counters indexed by position in RS.Trans; flushed into the
-	// name-keyed Stats maps when exploration ends so the hot loop never
-	// hashes rule names.
+	// name-keyed Stats maps when exploration ends — including the
+	// ErrSpaceExhausted and budget-interrupt paths — so the hot loop
+	// never hashes rule names yet diagnostics always reflect the work
+	// actually done.
 	transMatchedN, transFiredN []int
+	// run is the resource accounting of the current OptimizeContext call
+	// (see budget.go).
+	run budgetState
 }
 
 // NewOptimizer returns an optimizer over a fresh memo.
@@ -98,23 +115,84 @@ func (o *Optimizer) maxPasses() int {
 // that satisfies req's physical properties (req may be nil for "no
 // requirement"). It returns the winning plan; Stats describe the search.
 func (o *Optimizer) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
-	root := o.Memo.Insert(tree)
-	if err := o.explore(); err != nil {
-		return nil, err
-	}
+	return o.OptimizeContext(context.Background(), tree, req)
+}
+
+// OptimizeContext is Optimize governed by a cancellation context and the
+// options' Budget. When the search exceeds the budget or ctx is
+// cancelled, the optimizer degrades gracefully instead of failing: it
+// salvages the best plan costable from the already-explored memo, or —
+// when no complete winner exists, or on hard cancellation — falls back
+// to the greedy bottom-up plan of the original tree. Degraded results
+// are marked in Stats (Degraded, DegradeCause, DegradePath). With a
+// background context and a zero Budget the behaviour and results are
+// identical to Optimize in previous releases.
+func (o *Optimizer) OptimizeContext(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	o.beginRun(ctx)
 	if req == nil {
 		req = core.NewDescriptor(o.RS.Algebra.Props)
 	}
+	root := o.Memo.Insert(tree)
+	if err := o.explore(); err != nil {
+		if errors.Is(err, errBudget) {
+			return o.degrade(root, tree, req)
+		}
+		o.recordMemoStats()
+		return nil, err
+	}
 	plan, _, err := o.findBest(root, req)
-	o.Stats.Groups = o.Memo.NumGroups()
-	o.Stats.Exprs = o.Memo.NumExprs()
-	o.Stats.Merges = o.Memo.Merges()
+	o.recordMemoStats()
 	if err != nil {
+		if errors.Is(err, errBudget) {
+			return o.degrade(root, tree, req)
+		}
 		return nil, err
 	}
 	if plan == nil {
 		return nil, ErrNoPlan
 	}
+	return plan, nil
+}
+
+// recordMemoStats snapshots the memo counters into Stats; it runs on
+// every exit path (success, degradation, and errors) so partial searches
+// report the work actually done.
+func (o *Optimizer) recordMemoStats() {
+	o.Stats.Groups = o.Memo.NumGroups()
+	o.Stats.Exprs = o.Memo.NumExprs()
+	o.Stats.Merges = o.Memo.Merges()
+}
+
+// degrade turns a budget interrupt into a plan. The memo is first
+// brought to a consistent state (eager dedup may be pending), then the
+// salvage pass costs the explored contents; if that yields no complete
+// winner — or the run was hard-cancelled, where salvaging the memo
+// would prolong the search the caller asked to stop — the greedy
+// bottom-up baseline over the original tree is used.
+func (o *Optimizer) degrade(root GroupID, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	o.Stats.Degraded = true
+	o.Stats.DegradeCause = o.run.cause
+	o.run.salvage = true
+	defer o.recordMemoStats()
+	if o.Memo.Dirty() {
+		o.Memo.Rehash()
+	}
+	if o.run.cause != CauseCancelled {
+		plan, _, err := o.findBest(root, req)
+		if err != nil && !errors.Is(err, errBudget) {
+			return nil, err
+		}
+		if err == nil && plan != nil {
+			o.Stats.DegradePath = DegradePathMemo
+			return plan, nil
+		}
+	}
+	plan, err := greedyPlan(o.RS, tree, req, o.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("volcano: degraded search (%s) found no fallback plan: %w",
+			o.run.cause, err)
+	}
+	o.Stats.DegradePath = DegradePathBottomUp
 	return plan, nil
 }
 
@@ -351,6 +429,9 @@ func (x *explorer) process(e *LExpr) error {
 		if m.NumExprs() > o.maxExprs() {
 			return o.spaceExhausted(x.depth())
 		}
+		if o.overBudget() {
+			return errBudget
+		}
 	}
 	return nil
 }
@@ -370,6 +451,9 @@ func (o *Optimizer) exploreWorklist() error {
 	defer func() { m.hooks = nil }()
 	o.Stats.Passes = 1
 	for {
+		if o.overBudget() {
+			return errBudget
+		}
 		e := x.pop()
 		if e != nil {
 			if err := x.process(e); err != nil {
@@ -427,6 +511,9 @@ func (o *Optimizer) explorePasses() error {
 				e := g.Exprs[ei]
 				if e.IsLeaf() {
 					continue
+				}
+				if o.overBudget() {
+					return errBudget
 				}
 				for _, te := range o.RS.transFor(e.Op) {
 					mark := ruleMark{e, te.idx}
@@ -493,6 +580,7 @@ func (o *Optimizer) applyTrans(rule *TransRule, ri int, e *LExpr, since uint64) 
 			return
 		}
 		o.transFiredN[ri]++
+		o.run.fired++
 		if o.OnEvent != nil {
 			o.emit(EventTransFired, rule.Name, m.Find(e.group), e.String(), 0)
 		}
@@ -509,6 +597,9 @@ func (o *Optimizer) applyTrans(rule *TransRule, ri int, e *LExpr, since uint64) 
 // findBest computes (memoized) the cheapest plan for group g that
 // satisfies the required physical properties.
 func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, error) {
+	if o.overBudgetCosting() {
+		return nil, 0, errBudget
+	}
 	m := o.Memo
 	g = m.Find(g)
 	grp := m.groups[g]
@@ -529,7 +620,16 @@ func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, 
 	best, bestCost, err := o.optimizeGroup(grp, req)
 	w.inProgress = false
 	if err != nil {
-		w.plan, w.cost = nil, math.Inf(1)
+		// Drop the half-computed entry rather than memoizing it:
+		// recording "no plan" for a budget-interrupted computation would
+		// poison the salvage pass that costs this memo next.
+		entries := grp.winners[key]
+		for i, x := range entries {
+			if x == w {
+				grp.winners[key] = append(entries[:i], entries[i+1:]...)
+				break
+			}
+		}
 		return nil, 0, err
 	}
 	w.plan, w.cost = best, bestCost

@@ -26,6 +26,16 @@ type Stats struct {
 	Winners     int // (group, property-vector) optimizations performed
 	CostedPlans int // physical alternatives costed
 	Pruned      int // alternatives abandoned by branch-and-bound
+
+	// Degraded reports that the search hit its Budget (or its context
+	// was cancelled) and the plan came from graceful degradation rather
+	// than a completed search; DegradeCause says which bound tripped and
+	// DegradePath how the plan was produced (DegradePathMemo or
+	// DegradePathBottomUp). All other counters then describe the partial
+	// work actually done.
+	Degraded     bool
+	DegradeCause Cause
+	DegradePath  string
 }
 
 // NewStats returns zeroed statistics.
@@ -65,8 +75,12 @@ func countNonZero(m map[string]int) int {
 // String renders a compact multi-line summary.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "groups=%d exprs=%d merges=%d passes=%d queue=%d winners=%d costed=%d pruned=%d\n",
+	fmt.Fprintf(&b, "groups=%d exprs=%d merges=%d passes=%d queue=%d winners=%d costed=%d pruned=%d",
 		s.Groups, s.Exprs, s.Merges, s.Passes, s.MaxQueue, s.Winners, s.CostedPlans, s.Pruned)
+	if s.Degraded {
+		fmt.Fprintf(&b, " DEGRADED(%s via %s)", s.DegradeCause, s.DegradePath)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "trans matched=%d fired=%d; impl matched=%d fired=%d\n",
 		s.DistinctTransMatched(), countNonZero(s.TransFired),
 		s.DistinctImplMatched(), s.DistinctImplFired())
