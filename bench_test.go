@@ -15,6 +15,7 @@ import (
 
 	"prairie/internal/catalog"
 	"prairie/internal/core"
+	"prairie/internal/obs"
 	"prairie/internal/oodb"
 	"prairie/internal/p2v"
 	"prairie/internal/qgen"
@@ -167,6 +168,45 @@ func BenchmarkDSLCompile(b *testing.B) {
 		if _, err := oodb.New(o.Cat).PrairieRules(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchOptimizeObs is benchOptimize with an explicit observer attached
+// to every run (nil = the uninstrumented baseline).
+func benchOptimizeObs(b *testing.B, w *benchWorld, ob *obs.Observer) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := volcano.NewOptimizer(w.pvrs)
+		opt.Opts.Obs = ob
+		if _, err := opt.Optimize(w.ptree.Clone(), w.preq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsGuard backs `make bench-guard`: the same workload with
+// observability absent ("off"), attached but with every sink disabled
+// ("disabled" — the guards must make this indistinguishable from off),
+// and fully enabled ("on", reported informationally). The guard target
+// fails the build if disabled drifts more than ~2% from off.
+func BenchmarkObsGuard(b *testing.B) {
+	for _, wl := range []struct {
+		name string
+		e    qgen.ExprKind
+		n    int
+	}{
+		{"fig12", qgen.E3, 3},
+		{"fig13", qgen.E4, 3},
+	} {
+		w := prepOODB(b, wl.e, wl.n, false)
+		b.Run(wl.name+"/off", func(b *testing.B) { benchOptimizeObs(b, w, nil) })
+		b.Run(wl.name+"/disabled", func(b *testing.B) { benchOptimizeObs(b, w, &obs.Observer{}) })
+		b.Run(wl.name+"/on", func(b *testing.B) {
+			benchOptimizeObs(b, w, &obs.Observer{
+				Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(), RuleTiming: true,
+			})
+		})
 	}
 }
 

@@ -13,14 +13,25 @@
 // With -timeout or -degrade, over-budget points return gracefully
 // degraded plans and are marked '*' in the tables instead of ending
 // their series with 'exhausted'.
+//
+// Observability (see internal/obs):
+//
+//	optbench -experiment fig12 -httpaddr :8080        # /metrics, /vars, /debug/pprof/
+//	optbench -experiment fig12 -trace-out run.json    # Chrome trace_event (chrome://tracing, Perfetto)
+//	optbench -experiment fig12 -trace-jsonl run.jsonl # span trace, one JSON object per line
+//	optbench -experiment fig12 -observe -json         # per-rule timing + degradation counts in JSON
+//
+// -json, -httpaddr, -trace-out, and -trace-jsonl all imply -observe.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prairie/internal/experiments"
+	"prairie/internal/obs"
 )
 
 func main() {
@@ -38,7 +49,61 @@ func main() {
 		"concurrent optimizations per sweep point (<=1 sequential; parallel runs distort per-query times)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables (for BENCH_*.json archives)")
+	observe := flag.Bool("observe", false,
+		"enable per-rule timing and metrics collection (implied by -json, -httpaddr, -trace-out, -trace-jsonl)")
+	httpAddr := flag.String("httpaddr", "",
+		"serve /metrics, /vars, /trace, and /debug/pprof/ on this address (e.g. :8080 or :0)")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace_event file here (load in chrome://tracing or Perfetto)")
+	traceJSONL := flag.String("trace-jsonl", "", "write the span trace as JSON lines here")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
+
+	// Observability: per-rule timing feeds the tables; the tracer is
+	// only attached when a trace sink (file or HTTP) can consume it.
+	var ob *obs.Observer
+	if *observe || *jsonOut || *httpAddr != "" || *traceOut != "" || *traceJSONL != "" {
+		ob = &obs.Observer{Metrics: obs.NewRegistry(), RuleTiming: true}
+		if *traceOut != "" || *traceJSONL != "" || *httpAddr != "" {
+			ob.Tracer = obs.NewTracer()
+		}
+	}
+	if *httpAddr != "" {
+		addr, closer, err := obs.Serve(*httpAddr, obs.NewMux(ob.Metrics, ob.Tracer))
+		if err != nil {
+			fail(err)
+		}
+		defer closer()
+		fmt.Fprintf(os.Stderr, "optbench: serving metrics and pprof on http://%s/\n", addr)
+	}
+	defer func() {
+		if ob == nil || ob.Tracer == nil {
+			return
+		}
+		write := func(path string, fn func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := fn(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "optbench: wrote %d trace events to %s (%d dropped)\n",
+				ob.Tracer.Len(), path, ob.Tracer.Dropped())
+		}
+		write(*traceOut, ob.Tracer.WriteChrome)
+		write(*traceJSONL, ob.Tracer.WriteJSONL)
+	}()
 
 	opts := experiments.Options{
 		MaxClasses: *maxClasses,
@@ -47,10 +112,7 @@ func main() {
 		Workers:    *workers,
 		Timeout:    *timeout,
 		Degrade:    *degrade,
-	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "optbench:", err)
-		os.Exit(1)
+		Obs:        ob,
 	}
 	emit := func(t *experiments.Table, err error) {
 		if err != nil {

@@ -7,15 +7,31 @@
 // Usage:
 //
 //	optshell -expr E3 -n 3 -indexed -execute
+//
+// Trailing arguments are inspection commands run after the
+// optimization, and -i opens an interactive prompt with the same
+// commands:
+//
+//	optshell -expr E3 -n 3 :stats ':explain 0'
+//	optshell -expr E2 -n 4 -i
+//
+// Commands: :stats (search statistics plus per-rule wall time),
+// :explain <group> (a memo group's expressions with rule provenance
+// and its memoized winners; topdown only), :memo (every group),
+// :help, :quit.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"prairie/internal/data"
 	"prairie/internal/exec"
+	"prairie/internal/obs"
 	"prairie/internal/oodb"
 	"prairie/internal/p2v"
 	"prairie/internal/qgen"
@@ -36,7 +52,9 @@ func main() {
 		"wall-clock optimization budget (topdown only, 0 = none); over budget, a degraded plan is returned")
 	budgetExprs := flag.Int("budget-exprs", 0,
 		"soft cap on memo expressions (topdown only, 0 = none); over budget, a degraded plan is returned")
+	interactive := flag.Bool("i", false, "after optimizing, read inspection commands (:stats, :explain ...) from stdin")
 	flag.Parse()
+	commands := flag.Args()
 
 	var family qgen.ExprKind
 	switch *expr {
@@ -85,10 +103,18 @@ func main() {
 	}
 	var plan *volcano.PExpr
 	var stats *volcano.Stats
+	var topOpt *volcano.Optimizer // retained for :explain / :memo
+	inspect := *interactive || len(commands) > 0
 	switch *strategy {
 	case "topdown":
 		opt := volcano.NewOptimizer(vrs)
+		topOpt = opt
 		opt.Opts.Budget = volcano.Budget{Timeout: *timeout, MaxExprs: *budgetExprs}
+		if inspect {
+			// Inspection wants per-rule wall time attributed, so the
+			// run is observed; plans and stats are unaffected.
+			opt.Opts.Obs = &obs.Observer{RuleTiming: true}
+		}
 		if *trace {
 			opt.OnEvent = func(e volcano.Event) { fmt.Println(e) }
 		}
@@ -133,6 +159,76 @@ func main() {
 			fmt.Printf("  %v\n", row)
 		}
 	}
+
+	for _, cmd := range commands {
+		if !runCommand(cmd, stats, topOpt) {
+			return
+		}
+	}
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Print("optshell> ")
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" && !runCommand(line, stats, topOpt) {
+				return
+			}
+			fmt.Print("optshell> ")
+		}
+	}
+}
+
+// runCommand executes one inspection command; it returns false when the
+// session should end.
+func runCommand(line string, stats *volcano.Stats, opt *volcano.Optimizer) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":stats":
+		fmt.Print(stats)
+		if t := stats.RuleTimeTable(); t != "" {
+			fmt.Print(t)
+		}
+	case ":explain":
+		if opt == nil {
+			fmt.Println("optshell: :explain requires -strategy topdown")
+			break
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: :explain <group>")
+			break
+		}
+		g, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Printf("optshell: bad group %q\n", fields[1])
+			break
+		}
+		out, err := opt.ExplainGroup(volcano.GroupID(g))
+		if err != nil {
+			fmt.Println("optshell:", err)
+			break
+		}
+		fmt.Print(out)
+	case ":memo":
+		if opt == nil {
+			fmt.Println("optshell: :memo requires -strategy topdown")
+			break
+		}
+		for g := 0; g < opt.Memo.NumGroups(); g++ {
+			out, err := opt.ExplainGroup(volcano.GroupID(g))
+			if err != nil {
+				fmt.Println("optshell:", err)
+				break
+			}
+			fmt.Print(out)
+		}
+	case ":help":
+		fmt.Println("commands: :stats  :explain <group>  :memo  :help  :quit")
+	case ":quit", ":q", ":exit":
+		return false
+	default:
+		fmt.Printf("optshell: unknown command %q (try :help)\n", fields[0])
+	}
+	return true
 }
 
 func indexedLabel(b bool) string {

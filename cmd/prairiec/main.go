@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	prairiec [-check] [-fmt] [-dump] file.prairie
+//	prairiec [-check] [-fmt] [-dump] [-time] file.prairie
 //
 //	-check   parse and type-check only
 //	-fmt     print the canonical formatting of the specification
 //	-dump    also list the generated trans_rules/impl_rules/enforcers
+//	-time    report per-phase wall time (parse, check, compile, translate)
 //
 // Helper functions declared by the specification are bound to stub
 // implementations (returning their result kind's default value): the
@@ -23,16 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"prairie/internal/core"
 	"prairie/internal/p2v"
 	"prairie/internal/prairielang"
+	"prairie/internal/volcano"
 )
 
 func main() {
 	checkOnly := flag.Bool("check", false, "parse and type-check only")
 	format := flag.Bool("fmt", false, "print canonical formatting")
 	dump := flag.Bool("dump", false, "list generated Volcano rules")
+	timed := flag.Bool("time", false, "report per-phase wall time on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: prairiec [-check] [-fmt] [-dump] file.prairie")
@@ -43,15 +47,27 @@ func main() {
 		fatal(err)
 	}
 
+	// phase wraps one compiler stage with optional wall-clock reporting.
+	phase := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		if *timed {
+			fmt.Fprintf(os.Stderr, "prairiec: %-9s %v\n", name, time.Since(start).Round(time.Microsecond))
+		}
+	}
+
 	if *format {
-		spec, err := prairielang.Parse(string(src))
+		var spec *prairielang.Spec
+		phase("parse", func() { spec, err = prairielang.Parse(string(src)) })
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(prairielang.Format(spec))
 		return
 	}
-	if errs := prairielang.Check(string(src)); len(errs) > 0 {
+	var errs []error
+	phase("check", func() { errs = prairielang.Check(string(src)) })
+	if len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), e)
 		}
@@ -62,16 +78,20 @@ func main() {
 		return
 	}
 
-	spec, err := prairielang.Parse(string(src))
+	var spec *prairielang.Spec
+	phase("parse", func() { spec, err = prairielang.Parse(string(src)) })
 	if err != nil {
 		fatal(err)
 	}
 	impls := stubHelpers(spec)
-	rs, err := prairielang.Compile(spec, impls)
+	var rs *core.RuleSet
+	phase("compile", func() { rs, err = prairielang.Compile(spec, impls) })
 	if err != nil {
 		fatal(err)
 	}
-	vrs, rep, err := p2v.Translate(rs)
+	var vrs *volcano.RuleSet
+	var rep *p2v.Report
+	phase("translate", func() { vrs, rep, err = p2v.Translate(rs) })
 	if err != nil {
 		fatal(err)
 	}

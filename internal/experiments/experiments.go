@@ -18,11 +18,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"prairie/internal/catalog"
 	"prairie/internal/core"
+	"prairie/internal/obs"
 	"prairie/internal/oodb"
 	"prairie/internal/p2v"
 	"prairie/internal/qgen"
@@ -36,6 +38,13 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// RuleTimes attributes the sweep's wall time to individual rules
+	// (milliseconds, keys prefixed trans/ or impl/) when the run was
+	// observed with per-rule timing (Options.Obs); omitted otherwise.
+	RuleTimes map[string]float64 `json:",omitempty"`
+	// Degradations counts budget-degraded optimizations by cause across
+	// the sweep; omitted when every search completed.
+	Degradations map[string]int `json:",omitempty"`
 }
 
 // String renders the table with aligned columns.
@@ -75,6 +84,42 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(t.Degradations) > 0 {
+		causes := make([]string, 0, len(t.Degradations))
+		for c := range t.Degradations {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		b.WriteString("degradations:")
+		for _, c := range causes {
+			fmt.Fprintf(&b, " %s=%d", c, t.Degradations[c])
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.RuleTimes) > 0 {
+		type rt struct {
+			rule string
+			ms   float64
+		}
+		rows := make([]rt, 0, len(t.RuleTimes))
+		for r, ms := range t.RuleTimes {
+			rows = append(rows, rt{r, ms})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].ms != rows[j].ms {
+				return rows[i].ms > rows[j].ms
+			}
+			return rows[i].rule < rows[j].rule
+		})
+		if len(rows) > 8 {
+			rows = rows[:8]
+		}
+		b.WriteString("top rule times (ms):")
+		for _, r := range rows {
+			fmt.Fprintf(&b, " %s=%.3f", r.rule, r.ms)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -134,13 +179,57 @@ type Options struct {
 	// timeout-and-fallback protocol rather than the paper's
 	// memory-exhaustion stop.
 	Degrade bool
+	// Obs attaches observability sinks to every optimization in the
+	// sweep (per-rule timing, metrics, span traces — see internal/obs).
+	// With RuleTiming enabled, the resulting tables carry per-rule time
+	// attribution (Table.RuleTimes) and degradation tallies.
+	Obs *obs.Observer
+
+	// agg accumulates the sweep's merged statistics; table functions
+	// initialize it and fold every run in (see observe/attach).
+	agg *volcano.Stats
+}
+
+// observe returns a copy of o with a fresh aggregate, ready to collect
+// a sweep's statistics.
+func (o Options) observe() Options {
+	o.agg = volcano.NewStats()
+	return o
+}
+
+// collect folds one run's statistics into the sweep aggregate.
+func (o Options) collect(s *volcano.Stats) {
+	if o.agg != nil {
+		o.agg.Merge(s)
+	}
+}
+
+// attach decorates a finished table with the sweep's observability
+// aggregates: per-rule wall time (when Obs enabled rule timing) and
+// degradation counts by cause.
+func (o Options) attach(t *Table) {
+	if o.agg == nil {
+		return
+	}
+	if len(o.agg.TransTime) > 0 || len(o.agg.ImplTime) > 0 {
+		t.RuleTimes = map[string]float64{}
+		for r, d := range o.agg.TransTime {
+			t.RuleTimes["trans/"+r] += float64(d.Microseconds()) / 1000
+		}
+		for r, d := range o.agg.ImplTime {
+			t.RuleTimes["impl/"+r] += float64(d.Microseconds()) / 1000
+		}
+	}
+	if len(o.agg.DegradedRuns) > 0 {
+		t.Degradations = o.agg.DegradedRuns
+	}
 }
 
 // volcanoOpts translates the protocol options into engine options: a
 // Timeout always degrades; with Degrade set the expression cap does too
 // (the engine's default hard cap stays as a backstop).
 func (o Options) volcanoOpts() volcano.Options {
-	vo := volcano.Options{MaxExprs: o.MaxExprs}
+	vo := volcano.Options{MaxExprs: o.MaxExprs, Obs: o.Obs}
 	vo.Budget.Timeout = o.Timeout
 	if o.Degrade {
 		vo.Budget.MaxExprs = o.MaxExprs
@@ -261,6 +350,9 @@ func runPoint(e qgen.ExprKind, indexed bool, n int, opts Options) (point, error)
 	seeds := opts.seeds()
 	reps := opts.repeats(n)
 	vopts := opts.volcanoOpts()
+	// Let the batch inject the observer so each pool worker gets its own
+	// trace row (per-worker TraceTID) instead of every item sharing one.
+	vopts.Obs = nil
 	items := make([]volcano.BatchItem, 0, 2*len(seeds))
 	for _, seed := range seeds {
 		cat := qgen.Catalog(n, seed, indexed)
@@ -286,7 +378,10 @@ func runPoint(e qgen.ExprKind, indexed bool, n int, opts Options) (point, error)
 		vreq := core.NewDescriptor(vo.Alg.Props)
 		items = append(items, volcano.BatchItem{RS: vo.VolcanoRules(), Tree: vtree, Req: vreq, Opts: vopts, Repeats: reps})
 	}
-	results := volcano.OptimizeBatch(items, opts.workers())
+	results, report := volcano.OptimizeBatchOpts(nil, items, volcano.BatchOptions{
+		Workers: opts.workers(), Obs: opts.Obs,
+	})
+	opts.collect(report.Agg)
 	pt := point{N: n}
 	var pSum, vSum time.Duration
 	for i := 0; i+1 < len(results); i += 2 {
@@ -341,6 +436,7 @@ func Figure(num int, opts Options) (*Table, error) {
 	}
 	q := (num - 10) * 2
 	names := [2]string{fmt.Sprintf("Q%d", q+1), fmt.Sprintf("Q%d", q+2)}
+	opts = opts.observe()
 	plain, err := runFamily(e, false, opts)
 	if err != nil {
 		return nil, err
@@ -387,12 +483,14 @@ func Figure(num int, opts Options) (*Table, error) {
 		fill(3, indexed)
 		t.Rows = append(t.Rows, row)
 	}
+	opts.attach(t)
 	return t, nil
 }
 
 // Figure14 counts equivalence classes versus number of joins for every
 // expression family.
 func Figure14(opts Options) (*Table, error) {
+	opts = opts.observe()
 	t := &Table{
 		Title:  "Figure 14: equivalence classes vs joins (identical for Prairie and Volcano)",
 		Header: []string{"joins", "E1", "E2", "E3", "E4"},
@@ -425,6 +523,7 @@ func Figure14(opts Options) (*Table, error) {
 			} else if err != nil {
 				return nil, err
 			}
+			opts.collect(opt.Stats)
 			cell := fmt.Sprintf("%d", opt.Stats.Groups)
 			if opt.Stats.Degraded {
 				cell += "*" // partial closure: the budget tripped
@@ -447,6 +546,7 @@ func Figure14(opts Options) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	opts.attach(t)
 	return t, nil
 }
 
@@ -455,6 +555,7 @@ func Figure14(opts Options) (*Table, error) {
 // sub-expression structurally; fired counts those whose condition also
 // passed (the paper's matched-versus-applicable distinction, §4.3).
 func Table5(n int, opts Options) (*Table, error) {
+	opts = opts.observe()
 	t := &Table{
 		Title: fmt.Sprintf("Table 5: rules matched per query (N=%d classes)", n),
 		Header: []string{"query", "indices", "expr",
@@ -487,6 +588,7 @@ func Table5(n int, opts Options) (*Table, error) {
 			return nil, err
 		}
 		s := opt.Stats
+		opts.collect(s)
 		yes := "No"
 		if q.Indexed {
 			yes = "Yes"
@@ -494,22 +596,13 @@ func Table5(n int, opts Options) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			q.Name, yes, q.Expr.String(),
 			fmt.Sprintf("%d", s.DistinctTransMatched()),
-			fmt.Sprintf("%d", countFired(s.TransFired)),
+			fmt.Sprintf("%d", s.DistinctTransFired()),
 			fmt.Sprintf("%d", s.DistinctImplMatched()),
 			fmt.Sprintf("%d", s.DistinctImplFired()),
 		})
 	}
+	opts.attach(t)
 	return t, nil
-}
-
-func countFired(m map[string]int) int {
-	n := 0
-	for _, v := range m {
-		if v > 0 {
-			n++
-		}
-	}
-	return n
 }
 
 // RuleCounts reproduces §4.2's specification-size comparison for both
@@ -564,6 +657,7 @@ func RuleCounts() (*Table, error) {
 // Relopt runs the [5] experiment: the centralized relational optimizer,
 // Prairie-generated versus hand-coded, on N-way join queries.
 func Relopt(opts Options) (*Table, error) {
+	opts = opts.observe()
 	t := &Table{
 		Title:  "Experiment [5]: relational optimizer, optimization time (ms/query) vs joins",
 		Header: []string{"joins", "prairie", "volcano", "groups"},
@@ -602,6 +696,7 @@ func Relopt(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.collect(pStats)
 
 			vo := relopt.New(cat)
 			vtree, err := vo.Build(q)
@@ -620,12 +715,14 @@ func Relopt(opts Options) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", n-1), durMS(pSum / k), durMS(vSum / k), fmt.Sprintf("%d", groups)})
 	}
+	opts.attach(t)
 	return t, nil
 }
 
 // StarGraphs compares linear and star query graphs (the paper's stated
 // future work) on E1: equivalence classes and optimization time per N.
 func StarGraphs(opts Options) (*Table, error) {
+	opts = opts.observe()
 	t := &Table{
 		Title:  "Future work: linear vs star query graphs (E1)",
 		Header: []string{"joins", "linear_groups", "star_groups", "linear_ms", "star_ms"},
@@ -656,6 +753,7 @@ func StarGraphs(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.collect(stats)
 			if exhausted {
 				cells[gi] = [2]string{"exhausted", "exhausted"}
 				continue
@@ -669,5 +767,6 @@ func StarGraphs(opts Options) (*Table, error) {
 		row = append(row, cells[0][0], cells[1][0], cells[0][1], cells[1][1])
 		t.Rows = append(t.Rows, row)
 	}
+	opts.attach(t)
 	return t, nil
 }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one record in the Chrome trace_event format (the JSON
+// schema chrome://tracing and Perfetto consume). Timestamps and
+// durations are microseconds relative to the tracer's start.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// DefaultMaxEvents bounds a tracer's buffer; past it, events are
+// dropped (and counted) rather than growing without limit under an E4
+// sweep.
+const DefaultMaxEvents = 1 << 20
+
+// Tracer records nested optimizer spans, instant events, and counter
+// samples. It is safe for concurrent use (batch workers share one
+// tracer, each on its own tid), and nil-safe: every method on a nil
+// *Tracer is a no-op, and spans it returns are inert.
+type Tracer struct {
+	// MaxEvents overrides DefaultMaxEvents when set before recording.
+	MaxEvents int
+
+	mu      sync.Mutex
+	start   time.Time
+	events  []TraceEvent
+	dropped int64
+}
+
+// NewTracer returns an empty tracer; timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+func (t *Tracer) since(at time.Time) float64 {
+	return float64(at.Sub(t.start)) / float64(time.Microsecond)
+}
+
+func (t *Tracer) append(ev TraceEvent) {
+	t.mu.Lock()
+	max := t.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	if len(t.events) >= max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-flight duration measurement started by Tracer.Begin.
+// The zero Span (and any span from a nil tracer) is inert.
+type Span struct {
+	t    *Tracer
+	tid  int
+	name string
+	cat  string
+	at   time.Time
+}
+
+// Begin starts a span on the given thread row. Nil-safe.
+func (t *Tracer) Begin(tid int, name, cat string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, tid: tid, name: name, cat: cat, at: time.Now()}
+}
+
+// End completes the span with no arguments.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs completes the span, attaching args to the trace event.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	s.t.append(TraceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.t.since(s.at), Dur: float64(now.Sub(s.at)) / float64(time.Microsecond),
+		PID: 1, TID: s.tid, Args: args,
+	})
+}
+
+// Instant records a zero-duration marker event. Nil-safe.
+func (t *Tracer) Instant(tid int, name, cat string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: t.since(time.Now()), PID: 1, TID: tid})
+}
+
+// Counter records a sampled counter value (rendered by Perfetto as a
+// timeline graph — worklist depth, memo size). Nil-safe.
+func (t *Tracer) Counter(tid int, name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: name, Ph: "C", TS: t.since(time.Now()), PID: 1, TID: tid,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// SetThreadName labels a tid's row in the trace viewer. Nil-safe.
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Len returns the number of buffered events. Nil-safe (zero).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded at the buffer cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshot copies the event buffer for export without holding the lock
+// during encoding.
+func (t *Tracer) snapshot() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// WriteJSONL writes one event per line (JSON-lines). Nil-safe.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range t.snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChrome writes the buffer in the Chrome trace_event JSON object
+// format; the file loads directly in chrome://tracing and Perfetto.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	type chromeTrace struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: t.snapshot(), DisplayTimeUnit: "ms"})
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"prairie/internal/core"
+	"prairie/internal/obs"
 )
 
 // boomWorld returns a test world whose extra transformation rule panics
@@ -130,6 +131,63 @@ func TestBatchContextCancelled(t *testing.T) {
 		if !errors.Is(r.Err, context.Canceled) {
 			t.Errorf("item %d: Err = %v, want context.Canceled", i, r.Err)
 		}
+	}
+}
+
+// TestBatchConcurrentObservability exercises a single shared Observer
+// from every pool worker at once — the race-detector target for the
+// metric registry and tracer (run under -race by make race). It also
+// pins the BatchReport invariants: per-worker item counts sum to the
+// batch size, the aggregate Stats equal the per-item sums, and the
+// shared counters record every optimization.
+func TestBatchConcurrentObservability(t *testing.T) {
+	w := newTestWorld()
+	const n = 16
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i] = BatchItem{RS: w.rs, Tree: w.chain(8, 4, 2)}
+	}
+	ob := &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(), RuleTiming: true}
+	results, report := OptimizeBatchOpts(context.Background(), items, BatchOptions{Workers: 4, Obs: ob})
+
+	var wantExprs int
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		wantExprs += r.Stats.Exprs
+	}
+	if report.Items != n || report.Errors != 0 || report.Degraded != 0 {
+		t.Errorf("report = %d items %d errors %d degraded, want %d/0/0",
+			report.Items, report.Errors, report.Degraded, n)
+	}
+	gotItems := 0
+	for _, ws := range report.Workers {
+		gotItems += ws.Items
+	}
+	if gotItems != n {
+		t.Errorf("worker item counts sum to %d, want %d", gotItems, n)
+	}
+	if report.Agg.Exprs != wantExprs {
+		t.Errorf("Agg.Exprs = %d, want per-item sum %d", report.Agg.Exprs, wantExprs)
+	}
+	if len(report.Agg.TransTime) == 0 {
+		t.Error("RuleTiming enabled but aggregate TransTime is empty")
+	}
+	snap := ob.Metrics.Snapshot()
+	for name, want := range map[string]int64{
+		"prairie_batch_items_total": n,
+		"prairie_optimize_total":    n,
+	} {
+		if got, _ := snap[name].(int64); got != want {
+			t.Errorf("%s = %v, want %d", name, snap[name], want)
+		}
+	}
+	if ob.Tracer.Len() == 0 {
+		t.Error("shared tracer recorded no events")
+	}
+	if s := report.String(); !strings.Contains(s, "queue wait") {
+		t.Errorf("report.String() missing queue wait line:\n%s", s)
 	}
 }
 

@@ -46,6 +46,10 @@ type LExpr struct {
 	// 0 = never applied; for shallow rules any non-zero value means done
 	// (owned by the worklist explorer).
 	ruleSince []uint64
+	// via is the name of the transformation rule whose firing inserted
+	// this expression, or "" for the initial query tree — the provenance
+	// optshell's :explain renders.
+	via string
 }
 
 // IsLeaf reports whether the expression is a stored-file leaf.
@@ -128,6 +132,10 @@ type Memo struct {
 	// seq is the monotone insertion-stamp counter (see LExpr.seq).
 	seq   uint64
 	hooks memoHooks
+	// curRule names the transformation rule currently firing (set by
+	// applyTrans around buildRHS); insertions stamp it onto new
+	// expressions as provenance. "" outside rule application.
+	curRule string
 }
 
 // NewMemo returns an empty memo for the rule set.
@@ -270,7 +278,7 @@ func (m *Memo) InsertLeaf(file string, d *core.Descriptor) GroupID {
 		return m.Find(e.group)
 	}
 	g := m.newGroup(d)
-	e := &LExpr{File: file, D: d, group: g.ID, selfHash: self}
+	e := &LExpr{File: file, D: d, group: g.ID, selfHash: self, via: m.curRule}
 	g.Exprs = append(g.Exprs, e)
 	m.stamp(e, g)
 	m.exprCount++
@@ -309,7 +317,7 @@ func (m *Memo) InsertExpr(op *core.Operation, d *core.Descriptor, kids []GroupID
 	} else {
 		g = m.newGroup(d)
 	}
-	e := &LExpr{Op: op, D: d, Kids: canonKids, group: g.ID, selfHash: self}
+	e := &LExpr{Op: op, D: d, Kids: canonKids, group: g.ID, selfHash: self, via: m.curRule}
 	g.Exprs = append(g.Exprs, e)
 	g.version++
 	m.stamp(e, g)
@@ -430,6 +438,23 @@ func (m *Memo) Insert(e *core.Expr) GroupID {
 	}
 	g, _ := m.InsertExpr(e.Op, e.D, kids, -1)
 	return g
+}
+
+// Rough per-object heap sizes for MemEstimate: an LExpr with its kid
+// slice, horizon slice, and index entry; a Group with its slice headers
+// and winner map.
+const (
+	exprBytesEstimate  = 176
+	groupBytesEstimate = 144
+)
+
+// MemEstimate returns a rough O(1) estimate of the memo's heap
+// footprint in bytes, derived from live expression and group counts.
+// It feeds the prairie_memo_bytes_estimate gauge and Stats.MemoBytes —
+// the observability analogue of the paper's virtual-memory exhaustion
+// wall.
+func (m *Memo) MemEstimate() int64 {
+	return int64(m.exprCount)*exprBytesEstimate + int64(len(m.groups))*groupBytesEstimate
 }
 
 // Dump renders the memo's groups and expressions for debugging.

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"prairie/internal/core"
+	"prairie/internal/obs"
 )
 
 // ErrSpaceExhausted is returned when the search space exceeds the
@@ -54,6 +56,16 @@ type Options struct {
 	// the optimizer return a degraded plan rather than an error. A zero
 	// Budget leaves behaviour identical to previous releases.
 	Budget Budget
+	// Obs attaches observability sinks (metrics, spans, per-rule
+	// timing); nil — the default — disables all instrumentation behind
+	// single-branch guards, leaving plans and stats byte-identical to
+	// unobserved releases.
+	Obs *obs.Observer
+	// TraceTID labels this optimizer's rows in an attached obs.Tracer
+	// (the Chrome-trace thread id); 0 renders as tid 1. Batch workers
+	// set distinct ids so concurrent optimizations appear as separate
+	// rows in Perfetto.
+	TraceTID int
 }
 
 // DefaultMaxExprs is the default search-space cap.
@@ -87,6 +99,15 @@ type Optimizer struct {
 	// never hashes rule names yet diagnostics always reflect the work
 	// actually done.
 	transMatchedN, transFiredN []int
+	// transTimeN accumulates per-rule match+fire wall time by rule
+	// position when per-rule timing is enabled; flushed with the
+	// counters into Stats.TransTime.
+	transTimeN []time.Duration
+	// cached observability state of the current run (see observe.go):
+	// timing gates the clock reads, tr the span/counter emissions.
+	timing bool
+	tr     *obs.Tracer
+	tid    int
 	// run is the resource accounting of the current OptimizeContext call
 	// (see budget.go).
 	run budgetState
@@ -128,6 +149,25 @@ func (o *Optimizer) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, err
 // background context and a zero Budget the behaviour and results are
 // identical to Optimize in previous releases.
 func (o *Optimizer) OptimizeContext(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	o.beginObs()
+	if ob := o.Opts.Obs; ob.Enabled() {
+		// The observed wrapper lives outside the search proper: spans
+		// and metric flushes bracket the run, so the engine's hot loops
+		// only ever see the cached o.timing / o.tr guards.
+		start := time.Now()
+		sp := o.tr.Begin(o.tid, "optimize", "optimize")
+		plan, err := o.optimizeContext(ctx, tree, req)
+		sp.EndArgs(map[string]any{
+			"groups": o.Stats.Groups, "exprs": o.Stats.Exprs,
+			"winners": o.Stats.Winners, "degraded": o.Stats.Degraded,
+		})
+		recordRun(ob, o.Stats, time.Since(start), err)
+		return plan, err
+	}
+	return o.optimizeContext(ctx, tree, req)
+}
+
+func (o *Optimizer) optimizeContext(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
 	o.beginRun(ctx)
 	if req == nil {
 		req = core.NewDescriptor(o.RS.Algebra.Props)
@@ -161,6 +201,8 @@ func (o *Optimizer) recordMemoStats() {
 	o.Stats.Groups = o.Memo.NumGroups()
 	o.Stats.Exprs = o.Memo.NumExprs()
 	o.Stats.Merges = o.Memo.Merges()
+	o.Stats.MemoBytes = o.Memo.MemEstimate()
+	o.Stats.BudgetChecks = o.run.ticks
 }
 
 // degrade turns a budget interrupt into a plan. The memo is first
@@ -210,6 +252,15 @@ func (o *Optimizer) spaceExhausted(queue int) error {
 func (o *Optimizer) explore() error {
 	o.initRuleCounters()
 	defer o.flushRuleCounters()
+	if o.tr != nil {
+		sp := o.tr.Begin(o.tid, "explore", "explore")
+		defer func() {
+			sp.EndArgs(map[string]any{
+				"groups": o.Memo.NumGroups(), "exprs": o.Memo.NumExprs(),
+				"passes": o.Stats.Passes,
+			})
+		}()
+	}
 	if o.Opts.Explorer == ExplorerPasses {
 		return o.explorePasses()
 	}
@@ -220,6 +271,9 @@ func (o *Optimizer) initRuleCounters() {
 	if o.transMatchedN == nil {
 		o.transMatchedN = make([]int, len(o.RS.Trans))
 		o.transFiredN = make([]int, len(o.RS.Trans))
+	}
+	if o.timing && o.transTimeN == nil {
+		o.transTimeN = make([]time.Duration, len(o.RS.Trans))
 	}
 }
 
@@ -234,6 +288,15 @@ func (o *Optimizer) flushRuleCounters() {
 		if n != 0 {
 			o.Stats.TransFired[o.RS.Trans[i].Name] += n
 			o.transFiredN[i] = 0
+		}
+	}
+	for i, d := range o.transTimeN {
+		if d != 0 {
+			if o.Stats.TransTime == nil {
+				o.Stats.TransTime = map[string]time.Duration{}
+			}
+			o.Stats.TransTime[o.RS.Trans[i].Name] += d
+			o.transTimeN[i] = 0
 		}
 	}
 }
@@ -450,6 +513,7 @@ func (o *Optimizer) exploreWorklist() error {
 	m.hooks = x
 	defer func() { m.hooks = nil }()
 	o.Stats.Passes = 1
+	pops := 0
 	for {
 		if o.overBudget() {
 			return errBudget
@@ -458,6 +522,14 @@ func (o *Optimizer) exploreWorklist() error {
 		if e != nil {
 			if err := x.process(e); err != nil {
 				return err
+			}
+			if o.tr != nil {
+				// Downsampled timeline counters: worklist depth and memo
+				// growth render as graphs in Perfetto.
+				if pops++; pops&63 == 0 {
+					o.tr.Counter(o.tid, "worklist_depth", float64(x.depth()))
+					o.tr.Counter(o.tid, "memo_exprs", float64(m.NumExprs()))
+				}
 			}
 		}
 		if m.Dirty() {
@@ -568,6 +640,11 @@ func (o *Optimizer) applyTrans(rule *TransRule, ri int, e *LExpr, since uint64) 
 		o.scratchB = m.newTBinding()
 		o.scratchRB = m.newTBinding()
 	}
+	var t0 time.Time
+	if o.timing {
+		t0 = time.Now()
+	}
+	m.curRule = rule.Name
 	b, rb := o.scratchB, o.scratchRB
 	b.reset()
 	m.forEachMatch(rule.LHS, e, b, since, e.seq >= since, func(fresh bool) {
@@ -584,6 +661,9 @@ func (o *Optimizer) applyTrans(rule *TransRule, ri int, e *LExpr, since uint64) 
 		if o.OnEvent != nil {
 			o.emit(EventTransFired, rule.Name, m.Find(e.group), e.String(), 0)
 		}
+		if o.tr != nil {
+			o.tr.Instant(o.tid, "trans:"+rule.Name, "rule")
+		}
 		if rule.Appl != nil {
 			rule.Appl(rb)
 		}
@@ -591,6 +671,10 @@ func (o *Optimizer) applyTrans(rule *TransRule, ri int, e *LExpr, since uint64) 
 			changed = true
 		}
 	})
+	m.curRule = ""
+	if o.timing {
+		o.transTimeN[ri] += time.Since(t0)
+	}
 	return changed
 }
 
@@ -617,7 +701,20 @@ func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, 
 	grp.winners[key] = append(grp.winners[key], w)
 	o.Stats.Winners++
 
+	var sp obs.Span
+	if o.tr != nil {
+		// One span per (group, requirement) winner computation; the
+		// recursion over input groups nests naturally in the trace.
+		sp = o.tr.Begin(o.tid, fmt.Sprintf("group %d [%s]", g, reqString(req, phys)), "findBest")
+	}
 	best, bestCost, err := o.optimizeGroup(grp, req)
+	if o.tr != nil {
+		args := map[string]any{"cost": bestCost}
+		if err != nil {
+			args["err"] = err.Error()
+		}
+		sp.EndArgs(args)
+	}
 	w.inProgress = false
 	if err != nil {
 		// Drop the half-computed entry rather than memoizing it:
@@ -664,6 +761,14 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 		for _, ie := range o.RS.implsFor(e.Op) {
 			rule := ie.rule
 			o.Stats.ImplMatched[rule.Name]++
+			// Per-rule costing self time: the clock pauses around the
+			// findBest recursion below, so input planning is attributed
+			// to the input groups' own rules, not this alternative.
+			var t0 time.Time
+			var self time.Duration
+			if o.timing {
+				t0 = time.Now()
+			}
 			cx := &ImplCtx{
 				OpDesc: mergeReq(e.D, req, phys),
 				Req:    req,
@@ -675,6 +780,9 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 			}
 			if rule.Cond != nil && !rule.Cond(cx) {
 				o.emit(EventImplRejected, rule.Name, grp.ID, "condition failed", 0)
+				if o.timing {
+					o.addImplTime(rule.Name, self+time.Since(t0))
+				}
 				continue
 			}
 			o.Stats.ImplFired[rule.Name]++
@@ -687,8 +795,17 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 				if i < len(inReq) && inReq[i] != nil {
 					r = inReq[i]
 				}
+				if o.timing {
+					self += time.Since(t0)
+				}
 				plan, cost, err := o.findBest(k, r)
+				if o.timing {
+					t0 = time.Now()
+				}
 				if err != nil {
+					if o.timing {
+						o.addImplTime(rule.Name, self+time.Since(t0))
+					}
 					return nil, 0, err
 				}
 				if plan == nil {
@@ -706,17 +823,26 @@ func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, flo
 			}
 			if !ok {
 				o.emit(EventImplRejected, rule.Name, grp.ID, "infeasible or pruned input", 0)
+				if o.timing {
+					o.addImplTime(rule.Name, self+time.Since(t0))
+				}
 				continue
 			}
 			rule.Post(cx, algD)
 			if !algD.SatisfiesOn(req, phys) {
 				o.emit(EventImplRejected, rule.Name, grp.ID, "required properties unsatisfied", 0)
+				if o.timing {
+					o.addImplTime(rule.Name, self+time.Since(t0))
+				}
 				continue
 			}
 			if o.OnEvent != nil {
 				o.emit(EventImplCosted, rule.Name, grp.ID, rule.Alg.Name, algD.Float(costID))
 			}
 			consider(&PExpr{Alg: rule.Alg, D: algD, Kids: kids}, algD.Float(costID))
+			if o.timing {
+				o.addImplTime(rule.Name, self+time.Since(t0))
+			}
 		}
 	}
 

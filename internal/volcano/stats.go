@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Stats collects search statistics. The experiments of Section 4 of the
@@ -36,6 +37,27 @@ type Stats struct {
 	Degraded     bool
 	DegradeCause Cause
 	DegradePath  string
+
+	// TransTime and ImplTime attribute wall time to individual rules
+	// when per-rule timing is enabled (obs.Observer.RuleTiming):
+	// TransTime is the time spent matching and firing each trans_rule,
+	// ImplTime the self time spent costing each impl_rule's
+	// alternatives (input recursion excluded). Both stay nil on
+	// unobserved runs so Stats render byte-identically to previous
+	// releases.
+	TransTime map[string]time.Duration
+	ImplTime  map[string]time.Duration
+
+	// MemoBytes is a rough end-of-run estimate of the memo's heap
+	// footprint (see Memo.MemEstimate).
+	MemoBytes int64
+	// BudgetChecks counts budget checkpoints evaluated during the run
+	// (zero for unbudgeted runs — the checkpoints are gated off).
+	BudgetChecks int
+	// DegradedRuns counts degraded optimizations by cause when this
+	// Stats aggregates several runs (see Merge); a single run reports
+	// Degraded/DegradeCause instead.
+	DegradedRuns map[string]int
 }
 
 // NewStats returns zeroed statistics.
@@ -53,6 +75,11 @@ func NewStats() *Stats {
 // DistinctTransMatched returns how many distinct trans_rules matched at
 // least one sub-expression (the paper's Table 5 "trans_rules matched").
 func (s *Stats) DistinctTransMatched() int { return countNonZero(s.TransMatched) }
+
+// DistinctTransFired returns how many distinct trans_rules actually
+// fired (their cond_code passed on at least one match) — the paper's
+// matched-versus-applicable distinction, §4.3.
+func (s *Stats) DistinctTransFired() int { return countNonZero(s.TransFired) }
 
 // DistinctImplMatched returns how many distinct impl_rules matched (the
 // paper's Table 5 "impl_rules matched").
@@ -72,6 +99,128 @@ func countNonZero(m map[string]int) int {
 	return n
 }
 
+// Merge folds another run's statistics into s: counters and per-rule
+// maps are summed, MaxQueue takes the maximum, and degradation is
+// aggregated by cause into DegradedRuns. It is the aggregation
+// primitive behind batch reports and experiment-sweep snapshots; s
+// keeps its own identity (Degraded/DegradeCause describe s's first
+// degraded constituent).
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Groups += o.Groups
+	s.Exprs += o.Exprs
+	s.Merges += o.Merges
+	s.Passes += o.Passes
+	if o.MaxQueue > s.MaxQueue {
+		s.MaxQueue = o.MaxQueue
+	}
+	s.Winners += o.Winners
+	s.CostedPlans += o.CostedPlans
+	s.Pruned += o.Pruned
+	s.MemoBytes += o.MemoBytes
+	s.BudgetChecks += o.BudgetChecks
+	mergeCounts(&s.TransMatched, o.TransMatched)
+	mergeCounts(&s.TransFired, o.TransFired)
+	mergeCounts(&s.ImplMatched, o.ImplMatched)
+	mergeCounts(&s.ImplFired, o.ImplFired)
+	mergeCounts(&s.EnfMatched, o.EnfMatched)
+	mergeCounts(&s.EnfFired, o.EnfFired)
+	mergeDurations(&s.TransTime, o.TransTime)
+	mergeDurations(&s.ImplTime, o.ImplTime)
+	if len(o.DegradedRuns) > 0 {
+		// o is itself an aggregate: fold its tally, don't double count
+		// its Degraded flag.
+		mergeCounts(&s.DegradedRuns, o.DegradedRuns)
+	} else if o.Degraded {
+		if s.DegradedRuns == nil {
+			s.DegradedRuns = map[string]int{}
+		}
+		s.DegradedRuns[o.DegradeCause.String()]++
+	}
+	if o.Degraded && !s.Degraded {
+		s.Degraded = true
+		s.DegradeCause = o.DegradeCause
+		s.DegradePath = o.DegradePath
+	}
+}
+
+func mergeCounts(dst *map[string]int, src map[string]int) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(map[string]int, len(src))
+	}
+	for k, v := range src {
+		(*dst)[k] += v
+	}
+}
+
+func mergeDurations(dst *map[string]time.Duration, src map[string]time.Duration) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(map[string]time.Duration, len(src))
+	}
+	for k, v := range src {
+		(*dst)[k] += v
+	}
+}
+
+// RuleTimeTable renders the per-rule wall-time attribution collected
+// under obs.Observer.RuleTiming as an aligned table, most expensive
+// rule first; it returns "" when timing was not enabled. Trans rows
+// report match+fire time and match/fire counts; impl rows report
+// costing self time (input recursion excluded) and matched/fired
+// counts.
+func (s *Stats) RuleTimeTable() string {
+	if len(s.TransTime) == 0 && len(s.ImplTime) == 0 {
+		return ""
+	}
+	type row struct {
+		kind, rule       string
+		t                time.Duration
+		matched, applied int
+	}
+	var rows []row
+	for r, d := range s.TransTime {
+		rows = append(rows, row{"trans", r, d, s.TransMatched[r], s.TransFired[r]})
+	}
+	for r, d := range s.ImplTime {
+		rows = append(rows, row{"impl", r, d, s.ImplMatched[r], s.ImplFired[r]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].t != rows[j].t {
+			return rows[i].t > rows[j].t
+		}
+		return rows[i].rule < rows[j].rule
+	})
+	var total time.Duration
+	width := len("rule")
+	for _, r := range rows {
+		total += r.t
+		if len(r.rule) > width {
+			width = len(r.rule)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  kind   time(ms)   %%      matched  fired\n", width, "rule")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.t) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-*s  %-6s %9.3f  %5.1f  %7d  %5d\n",
+			width, r.rule, r.kind, float64(r.t.Microseconds())/1000, pct, r.matched, r.applied)
+	}
+	fmt.Fprintf(&b, "total attributed: %.3fms over %d rules\n",
+		float64(total.Microseconds())/1000, len(rows))
+	return b.String()
+}
+
 // String renders a compact multi-line summary.
 func (s *Stats) String() string {
 	var b strings.Builder
@@ -82,7 +231,7 @@ func (s *Stats) String() string {
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "trans matched=%d fired=%d; impl matched=%d fired=%d\n",
-		s.DistinctTransMatched(), countNonZero(s.TransFired),
+		s.DistinctTransMatched(), s.DistinctTransFired(),
 		s.DistinctImplMatched(), s.DistinctImplFired())
 	for _, line := range []struct {
 		label string

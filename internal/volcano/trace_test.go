@@ -1,0 +1,104 @@
+package volcano
+
+import (
+	"testing"
+
+	"prairie/internal/core"
+)
+
+// TestEventString is the table-driven rendering check for optimizer
+// trace events: cost is printed only for the kinds where it means
+// something (costed, enforcer, winner), and the rule/detail segments
+// are optional.
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		name string
+		e    Event
+		want string
+	}{
+		{
+			name: "trans with rule and detail, no cost",
+			e:    Event{Kind: EventTransFired, Rule: "join_commute", Group: 3, Detail: "JOIN(1,2)", Cost: 9.5},
+			want: "[trans] group 3 join_commute: JOIN(1,2)",
+		},
+		{
+			name: "costed prints cost",
+			e:    Event{Kind: EventImplCosted, Rule: "nested_loops", Group: 1, Detail: "NL(0,2)", Cost: 42},
+			want: "[costed] group 1 nested_loops: NL(0,2) (cost 42.0)",
+		},
+		{
+			name: "rejected without cost",
+			e:    Event{Kind: EventImplRejected, Rule: "merge_join", Group: 2, Detail: "inputs infeasible", Cost: 7},
+			want: "[rejected] group 2 merge_join: inputs infeasible",
+		},
+		{
+			name: "enforcer prints cost",
+			e:    Event{Kind: EventEnforcerApplied, Rule: "merge_sort", Group: 4, Cost: 12.25},
+			want: "[enforcer] group 4 merge_sort (cost 12.2)",
+		},
+		{
+			name: "winner without rule or detail",
+			e:    Event{Kind: EventWinner, Group: 0, Cost: 100},
+			want: "[winner] group 0 (cost 100.0)",
+		},
+		{
+			name: "no rule keeps detail separator",
+			e:    Event{Kind: EventTransFired, Group: 5, Detail: "dup"},
+			want: "[trans] group 5: dup",
+		},
+		{
+			name: "unknown kind renders placeholder",
+			e:    Event{Kind: EventKind(99), Group: 1},
+			want: "[?] group 1",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.e.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestReqString covers the requirement renderer: empty and all-don't-
+// care vectors collapse to "(none)", set properties render name=value,
+// and multiple physical properties join with commas in phys order.
+func TestReqString(t *testing.T) {
+	a := core.NewAlgebra("t")
+	ord := a.Props.Define("tuple_order", core.KindOrder)
+	site := a.Props.Define("site", core.KindOrder)
+	phys := []core.PropID{ord, site}
+	attr := core.A("R1", "a")
+
+	empty := core.NewDescriptor(a.Props)
+	dontCare := core.NewDescriptor(a.Props)
+	dontCare.Set(ord, core.DontCareOrder)
+	sorted := core.NewDescriptor(a.Props)
+	sorted.Set(ord, core.OrderBy(attr))
+	both := core.NewDescriptor(a.Props)
+	both.Set(ord, core.OrderBy(attr))
+	both.Set(site, core.OrderBy(core.A("R2", "b")))
+	mixed := core.NewDescriptor(a.Props)
+	mixed.Set(ord, core.DontCareOrder)
+	mixed.Set(site, core.OrderBy(attr))
+
+	tests := []struct {
+		name string
+		req  *core.Descriptor
+		want string
+	}{
+		{"empty requirement", empty, "(none)"},
+		{"dont-care only", dontCare, "(none)"},
+		{"one set property", sorted, "tuple_order=<R1.a>"},
+		{"two set properties", both, "tuple_order=<R1.a>,site=<R2.b>"},
+		{"dont-care skipped among set", mixed, "site=<R1.a>"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := reqString(tt.req, phys); got != tt.want {
+				t.Errorf("reqString() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
