@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-guard ci experiments clean
+.PHONY: all build vet test race bench-smoke bench-guard cache-guard bench-json ci experiments clean
 
 all: ci
 
@@ -24,43 +24,38 @@ race:
 bench-smoke:
 	$(GO) test -run 'XXX' -bench 'Fig1[234]' -benchmem -benchtime 3x .
 
-# Observability overhead guard: run the seed micro-benchmarks with
-# observability absent ("off") and attached-but-disabled ("disabled"),
-# and fail if the disabled path costs more than GUARD_PCT percent — the
-# instrumentation must be free when nobody is watching. The fully
-# enabled path ("on") is reported informationally. Each mode is timed
-# BENCH_COUNT times and the minimum ns/op compared, which filters
-# scheduler noise.
+# Neutrality guards: run a feature's micro-benchmarks with the feature
+# absent ("off") and attached-but-disabled ("disabled"), and fail if the
+# disabled path costs more than GUARD_PCT percent — the feature must be
+# free when nobody is using it. The fully enabled path ("on") is
+# reported informationally. Each mode is timed BENCH_COUNT times and the
+# minimum ns/op compared, which filters scheduler noise (the comparison
+# lives in scripts/guard.awk, shared by both guards).
 GUARD_PCT ?= 2
 BENCH_COUNT ?= 5
+
+# Observability overhead guard: instrumentation with every sink disabled
+# must be indistinguishable from no instrumentation at all.
 bench-guard:
 	@$(GO) test -run 'XXX' -bench 'ObsGuard' -benchtime 200x -count $(BENCH_COUNT) . | tee /tmp/obsguard.txt
-	@awk '\
-		/^BenchmarkObsGuard\// { \
-			split($$1, parts, "/"); wl = parts[2]; mode = parts[3]; \
-			sub(/-[0-9]+$$/, "", mode); \
-			ns = $$3 + 0; \
-			key = wl "/" mode; \
-			if (!(key in best) || ns < best[key]) best[key] = ns; \
-			if (mode == "off" || mode == "disabled" || mode == "on") seen[wl] = 1; \
-		} \
-		END { \
-			fail = 0; \
-			for (wl in seen) { \
-				off = best[wl "/off"]; dis = best[wl "/disabled"]; on = best[wl "/on"]; \
-				if (off <= 0) { printf "bench-guard: no off baseline for %s\n", wl; fail = 1; continue } \
-				dpct = 100 * (dis - off) / off; opct = 100 * (on - off) / off; \
-				printf "bench-guard: %-8s off=%.0fns disabled=%.0fns (%+.2f%%) on=%.0fns (%+.2f%% informational)\n", \
-					wl, off, dis, dpct, on, opct; \
-				if (dpct > $(GUARD_PCT)) { \
-					printf "bench-guard: FAIL %s disabled-path overhead %.2f%% > $(GUARD_PCT)%%\n", wl, dpct; fail = 1; \
-				} \
-			} \
-			if (fail) exit 1; \
-			print "bench-guard: PASS (disabled-path overhead within $(GUARD_PCT)%)"; \
-		}' /tmp/obsguard.txt
+	@awk -v pct=$(GUARD_PCT) -v guard=bench-guard -f scripts/guard.awk /tmp/obsguard.txt
 
-ci: vet build race bench-smoke
+# Plan-cache neutrality guard: a zero-capacity cache handle must be
+# indistinguishable from no cache (one Enabled() branch per optimize),
+# and the concurrent cache layers must be race-clean.
+cache-guard:
+	$(GO) test -race -timeout 300s ./internal/plancache ./internal/volcano
+	@$(GO) test -run 'XXX' -bench 'CacheGuard' -benchtime 100x -count $(BENCH_COUNT) . | tee /tmp/cacheguard.txt
+	@awk -v pct=$(GUARD_PCT) -v guard=cache-guard -f scripts/guard.awk /tmp/cacheguard.txt
+
+# Archive the repeat-workload plan-cache benchmark (cold vs warm ns/op,
+# full-hit speedup, hit rate, warm-start pruning, allocs) for diffing
+# across revisions.
+bench-json: build
+	$(GO) run ./cmd/optbench -experiment repeat -json > BENCH_plancache.json
+	@echo "bench-json: wrote BENCH_plancache.json"
+
+ci: vet build race bench-smoke cache-guard
 
 # Regenerate every paper table/figure (sequential, paper-faithful timing).
 experiments: build

@@ -1,0 +1,334 @@
+// Cache-equivalence harness for the cross-query plan cache (see
+// DESIGN.md §4.11): over every example world — the reconstructed OODB
+// optimizer (both the Prairie-generated and hand-coded rule sets), the
+// centralized relational optimizer, and the DSL-compiled rules of
+// examples/dslrules — a cache hit must return a plan byte-identical to
+// the cold-path plan, a disabled cache must leave the engine
+// byte-identical to a cacheless build, and a shared cache must be safe
+// under the concurrent batch API (run with -race in CI).
+package prairie_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"prairie"
+	"prairie/internal/catalog"
+	"prairie/internal/core"
+	"prairie/internal/oodb"
+	"prairie/internal/p2v"
+	"prairie/internal/qgen"
+	"prairie/internal/relopt"
+	"prairie/internal/volcano"
+)
+
+// cacheWorld is one (rule set, query, requirement) triple the harness
+// exercises.
+type cacheWorld struct {
+	name string
+	vrs  *volcano.RuleSet
+	tree *core.Expr
+	req  *core.Descriptor
+}
+
+// cacheWorlds builds the harness triples across every example world.
+func cacheWorlds(t *testing.T) []cacheWorld {
+	t.Helper()
+	var ws []cacheWorld
+
+	// OODB: Prairie-generated and hand-coded paths, one query per family.
+	for _, fam := range []struct {
+		e qgen.ExprKind
+		n int
+	}{{qgen.E1, 4}, {qgen.E2, 3}, {qgen.E3, 3}} {
+		cat := qgen.Catalog(fam.n, qgen.InstanceSeeds()[0], false)
+		po := oodb.New(cat)
+		prs, err := po.PrairieRules()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvrs, rep, err := p2v.Translate(prs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptree, err := qgen.Build(po, fam.e, fam.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptree, preq, err := rep.PrepareQuery(ptree, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, cacheWorld{fmt.Sprintf("oodb/prairie/%v/n%d", fam.e, fam.n), pvrs, ptree, preq})
+
+		vo := oodb.New(qgen.Catalog(fam.n, qgen.InstanceSeeds()[0], false))
+		vtree, err := qgen.Build(vo, fam.e, fam.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, cacheWorld{fmt.Sprintf("oodb/volcano/%v/n%d", fam.e, fam.n),
+			vo.VolcanoRules(), vtree, core.NewDescriptor(vo.Alg.Props)})
+	}
+
+	// Relational: the [5] experiment's optimizer, both paths.
+	rcat := catalog.Generate(catalog.DefaultGen(3, 101, true))
+	names := make([]string, 3)
+	for i := range names {
+		names[i] = catalog.ClassName(i + 1)
+	}
+	q := relopt.QuerySpec{Relations: names, Select: true}
+	ro := relopt.New(rcat)
+	rvrs, rrep, err := p2v.Translate(ro.PrairieRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtree, err := ro.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtree, rreq, err := rrep.PrepareQuery(rtree, ro.Requirement(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws = append(ws, cacheWorld{"relational/prairie", rvrs, rtree, rreq})
+
+	vo := relopt.New(rcat)
+	vtree, err := vo.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws = append(ws, cacheWorld{"relational/volcano", vo.VolcanoRules(), vtree, vo.Requirement(q)})
+
+	// DSL rules: the textual specification of examples/dslrules, with a
+	// root SORT that PrepareQuery turns into a requirement.
+	ws = append(ws, dslWorld(t))
+	return ws
+}
+
+// dslWorld compiles examples/dslrules/rules.prairie and builds the
+// example's SORT(JOIN(RET(R1), RET(R2))) query.
+func dslWorld(t *testing.T) cacheWorld {
+	t.Helper()
+	src, err := os.ReadFile("examples/dslrules/rules.prairie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := prairie.ParseRules(string(src), map[string]prairie.HelperImpl{
+		"nlogn": func(args []prairie.Value) (prairie.Value, error) {
+			n := math.Max(float64(args[0].(prairie.Float)), 1)
+			return prairie.Float(n * math.Log2(n+1)), nil
+		},
+		"order_within": func(args []prairie.Value) (prairie.Value, error) {
+			ord := args[0].(prairie.Order)
+			return prairie.Bool(ord.Within(args[1].(prairie.Attrs))), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrs, rep, err := prairie.Generate(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := rs.Algebra.Props
+	nr := ps.MustLookup("num_records")
+	at := ps.MustLookup("attributes")
+	jp := ps.MustLookup("join_predicate")
+	ord := ps.MustLookup("tuple_order")
+	leaf := func(name string, card float64) *prairie.Expr {
+		d := prairie.NewDescriptor(ps)
+		d.SetFloat(nr, card)
+		d.Set(at, prairie.Attrs{prairie.A(name, "a")})
+		return prairie.NewLeaf(name, d)
+	}
+	retOp := rs.Algebra.MustOp("RET")
+	joinOp := rs.Algebra.MustOp("JOIN")
+	sortOp := rs.Algebra.MustOp("SORT")
+	retOf := func(l *prairie.Expr) *prairie.Expr { return prairie.NewNode(retOp, l.D.Clone(), l) }
+	l, r := retOf(leaf("R1", 512)), retOf(leaf("R2", 64))
+	jd := prairie.NewDescriptor(ps)
+	jd.SetFloat(nr, 512)
+	jd.Set(at, l.D.AttrList(at).Union(r.D.AttrList(at)))
+	jd.Set(jp, prairie.EqAttr(prairie.A("R1", "a"), prairie.A("R2", "a")))
+	join := prairie.NewNode(joinOp, jd, l, r)
+	sd := join.D.Clone()
+	sd.Set(ord, prairie.OrderBy(prairie.A("R1", "a")))
+	query := prairie.NewNode(sortOp, sd, join)
+	query, req, err := rep.PrepareQuery(query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cacheWorld{"dslrules", vrs, query, req}
+}
+
+// cacheRun optimizes one world with the given cache attached.
+func cacheRun(t *testing.T, w cacheWorld, pc *volcano.PlanCache) (*volcano.PExpr, *volcano.Stats) {
+	t.Helper()
+	opt := volcano.NewOptimizer(w.vrs)
+	opt.Opts.Cache = pc
+	plan, err := opt.Optimize(w.tree.Clone(), w.req)
+	if err != nil {
+		t.Fatalf("%s: %v", w.name, err)
+	}
+	return plan, opt.Stats
+}
+
+// TestPlanCacheEquivalence: for every world, the miss that populates
+// the cache, the hit that serves from it, and a run with a disabled
+// cache must all produce plans byte-identical to the cold path, with
+// the expected counter movements; the cacheless Stats rendering must be
+// byte-identical too (no cache: line).
+func TestPlanCacheEquivalence(t *testing.T) {
+	for _, w := range cacheWorlds(t) {
+		t.Run(w.name, func(t *testing.T) {
+			coldPlan, coldStats := cacheRun(t, w, nil)
+			cold := coldPlan.Format()
+
+			pc := volcano.NewPlanCache(64)
+			missPlan, missStats := cacheRun(t, w, pc)
+			if got := missPlan.Format(); got != cold {
+				t.Errorf("miss plan differs from cold:\nmiss: %s\ncold: %s", got, cold)
+			}
+			if missStats.CacheMisses != 1 || missStats.CacheHits != 0 {
+				t.Errorf("miss counters = hits %d misses %d", missStats.CacheHits, missStats.CacheMisses)
+			}
+			hitPlan, hitStats := cacheRun(t, w, pc)
+			if got := hitPlan.Format(); got != cold {
+				t.Errorf("hit plan differs from cold:\nhit:  %s\ncold: %s", got, cold)
+			}
+			if hitStats.CacheHits != 1 || hitStats.CacheMisses != 0 {
+				t.Errorf("hit counters = hits %d misses %d", hitStats.CacheHits, hitStats.CacheMisses)
+			}
+			if hitStats.Groups != coldStats.Groups || hitStats.Exprs != coldStats.Exprs {
+				t.Errorf("hit memo shape (%d groups, %d exprs) != cold (%d, %d)",
+					hitStats.Groups, hitStats.Exprs, coldStats.Groups, coldStats.Exprs)
+			}
+
+			// Disabled handle: engine byte-identical to cacheless.
+			offPlan, offStats := cacheRun(t, w, volcano.NewPlanCache(0))
+			if got := offPlan.Format(); got != cold {
+				t.Errorf("disabled-cache plan differs from cold:\noff:  %s\ncold: %s", got, cold)
+			}
+			if got, want := offStats.String(), coldStats.String(); got != want {
+				t.Errorf("disabled-cache stats render differs:\noff:  %q\ncold: %q", got, want)
+			}
+		})
+	}
+}
+
+// TestPlanCacheWarmStartDegradedOODB: under a budget, a degraded search
+// that warm-starts from cached subproblem winners must degrade to the
+// same plan as the cold degraded search — warm-start only tightens the
+// branch-and-bound bound, it never changes which plan wins.
+func TestPlanCacheWarmStartDegradedOODB(t *testing.T) {
+	cat := qgen.Catalog(3, qgen.InstanceSeeds()[0], false)
+	vo := oodb.New(cat)
+	vrs := vo.VolcanoRules()
+	req := core.NewDescriptor(vo.Alg.Props)
+	budget := volcano.Budget{MaxExprs: 400}
+
+	run := func(pc *volcano.PlanCache, e qgen.ExprKind, n int) (*volcano.PExpr, *volcano.Stats) {
+		tree, err := qgen.Build(vo, e, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := volcano.NewOptimizer(vrs)
+		opt.Opts.Budget = budget
+		opt.Opts.Cache = pc
+		plan, err := opt.Optimize(tree.Clone(), req)
+		if err != nil {
+			t.Fatalf("%v n=%d: %v", e, n, err)
+		}
+		return plan, opt.Stats
+	}
+
+	coldPlan, coldStats := run(nil, qgen.E4, 3)
+	if !coldStats.Degraded {
+		t.Skipf("E4 n=3 completed within MaxExprs=%d; budget no longer degrades it", budget.MaxExprs)
+	}
+
+	// Populate the cache with the subproblems (the E2 chains the SELECT
+	// sits on) under the SAME budget class, completing non-degraded.
+	pc := volcano.NewPlanCache(64)
+	for n := 2; n <= 3; n++ {
+		_, s := run(pc, qgen.E2, n)
+		if s.Degraded {
+			t.Fatalf("E2 n=%d degraded; pick a looser budget for the prefix fills", n)
+		}
+	}
+	warmPlan, warmStats := run(pc, qgen.E4, 3)
+	if !warmStats.Degraded {
+		t.Fatal("warm run did not degrade under the same budget")
+	}
+	if got, want := warmPlan.Format(), coldPlan.Format(); got != want {
+		t.Errorf("warm degraded plan differs from cold degraded plan:\nwarm: %s\ncold: %s", got, want)
+	}
+	costID := vrs.Class.Cost
+	if got, want := warmPlan.D.Float(costID), coldPlan.D.Float(costID); got > want {
+		t.Errorf("warm degraded plan cost %g worse than cold %g", got, want)
+	}
+	if !warmPlan.ToExpr().IsPlan() {
+		t.Errorf("warm degraded result is not an access plan: %s", warmPlan)
+	}
+	// Degraded searches are never cached: only the two E2 fills remain.
+	if pc.Len() != 2 {
+		t.Errorf("cache holds %d entries after a degraded run, want the 2 prefix fills", pc.Len())
+	}
+}
+
+// TestPlanCacheBatchShared races many batch workers through one shared
+// cache (run with -race in CI): duplicated items collapse through
+// singleflight, every plan must match the cold sequential plan, and the
+// hit/miss counters must account for every run.
+func TestPlanCacheBatchShared(t *testing.T) {
+	cat := qgen.Catalog(3, qgen.InstanceSeeds()[0], false)
+	vo := oodb.New(cat)
+	vrs := vo.VolcanoRules()
+	req := core.NewDescriptor(vo.Alg.Props)
+
+	families := []qgen.ExprKind{qgen.E1, qgen.E2, qgen.E3, qgen.E4}
+	want := make([]string, len(families))
+	var items []volcano.BatchItem
+	const copies = 6
+	for i, e := range families {
+		tree, err := qgen.Build(vo, e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := volcano.NewOptimizer(vrs)
+		plan, err := seq.Optimize(tree.Clone(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = plan.Format()
+		for c := 0; c < copies; c++ {
+			items = append(items, volcano.BatchItem{RS: vrs, Tree: tree, Req: req})
+		}
+	}
+	pc := volcano.NewPlanCache(64)
+	results, report := volcano.OptimizeBatchOpts(nil, items, volcano.BatchOptions{
+		Workers: 8, Cache: pc,
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if got := r.Plan.Format(); got != want[i/copies] {
+			t.Errorf("item %d (%v): batch plan differs from sequential:\nbatch: %s\nseq:   %s",
+				i, families[i/copies], got, want[i/copies])
+		}
+	}
+	agg := report.Agg
+	if agg.CacheHits+agg.CacheMisses != len(items) {
+		t.Errorf("hits %d + misses %d != %d runs", agg.CacheHits, agg.CacheMisses, len(items))
+	}
+	if agg.CacheHits < len(items)-2*len(families) {
+		t.Errorf("only %d hits across %d duplicated items (misses %d, flight waits %d)",
+			agg.CacheHits, len(items), agg.CacheMisses, agg.FlightWaits)
+	}
+	if s := pc.Snapshot(); s.Entries != len(families) {
+		t.Errorf("cache holds %d entries, want %d", s.Entries, len(families))
+	}
+}

@@ -14,6 +14,12 @@
 // degraded plans and are marked '*' in the tables instead of ending
 // their series with 'exhausted'.
 //
+// Plan caching (see internal/plancache and DESIGN.md §4.11):
+//
+//	optbench -experiment repeat -json > BENCH_plancache.json  # zipfian repeat workload, cold vs warm
+//	optbench -experiment repeat -draws 1000 -cache-size 256
+//	optbench -experiment fig12 -repeats 10 -cache             # figure sweep with repeats served from the cache
+//
 // Observability (see internal/obs):
 //
 //	optbench -experiment fig12 -httpaddr :8080        # /metrics, /vars, /debug/pprof/
@@ -36,7 +42,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, all")
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, all")
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
@@ -47,6 +53,10 @@ func main() {
 		"treat -maxexprs as a soft budget: over-budget points return degraded plans (marked '*') and sweeps continue instead of ending the series")
 	workers := flag.Int("workers", 1,
 		"concurrent optimizations per sweep point (<=1 sequential; parallel runs distort per-query times)")
+	cache := flag.Bool("cache", false,
+		"attach a shared cross-query plan cache per sweep point: repeats after the first become cache hits")
+	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for -cache and -experiment repeat (0 = 512)")
+	draws := flag.Int("draws", 0, "zipfian draws for -experiment repeat (0 = 300)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables (for BENCH_*.json archives)")
 	observe := flag.Bool("observe", false,
@@ -113,6 +123,9 @@ func main() {
 		Timeout:    *timeout,
 		Degrade:    *degrade,
 		Obs:        ob,
+		UseCache:   *cache,
+		CacheSize:  *cacheSize,
+		Draws:      *draws,
 	}
 	emit := func(t *experiments.Table, err error) {
 		if err != nil {
@@ -143,6 +156,7 @@ func main() {
 		"rules":  func() { emit(experiments.RuleCounts()) },
 		"relopt": func() { emit(experiments.Relopt(opts)) },
 		"star":   func() { emit(experiments.StarGraphs(opts)) },
+		"repeat": func() { emit(experiments.RepeatWorkload(opts)) },
 	}
 	if *which == "all" {
 		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {

@@ -18,7 +18,13 @@
 // Commands: :stats (search statistics plus per-rule wall time),
 // :explain <group> (a memo group's expressions with rule provenance
 // and its memoized winners; topdown only), :memo (every group),
-// :help, :quit.
+// :cache (plan-cache counters), :help, :quit.
+//
+// With -cache and -repeat, the query is optimized repeatedly through a
+// cross-query plan cache — the first run misses and populates it, later
+// runs are full hits:
+//
+//	optshell -expr E2 -n 4 -cache -repeat 3 :cache
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"prairie/internal/data"
 	"prairie/internal/exec"
@@ -52,6 +59,10 @@ func main() {
 		"wall-clock optimization budget (topdown only, 0 = none); over budget, a degraded plan is returned")
 	budgetExprs := flag.Int("budget-exprs", 0,
 		"soft cap on memo expressions (topdown only, 0 = none); over budget, a degraded plan is returned")
+	cache := flag.Bool("cache", false,
+		"attach a cross-query plan cache (topdown only); with -repeat, runs after the first are served from it")
+	repeat := flag.Int("repeat", 1,
+		"optimize the query this many times (topdown only); pairs with -cache to show the hit path")
 	interactive := flag.Bool("i", false, "after optimizing, read inspection commands (:stats, :explain ...) from stdin")
 	flag.Parse()
 	commands := flag.Args()
@@ -104,22 +115,45 @@ func main() {
 	var plan *volcano.PExpr
 	var stats *volcano.Stats
 	var topOpt *volcano.Optimizer // retained for :explain / :memo
+	var pc *volcano.PlanCache     // retained for :cache
 	inspect := *interactive || len(commands) > 0
 	switch *strategy {
 	case "topdown":
-		opt := volcano.NewOptimizer(vrs)
-		topOpt = opt
-		opt.Opts.Budget = volcano.Budget{Timeout: *timeout, MaxExprs: *budgetExprs}
-		if inspect {
-			// Inspection wants per-rule wall time attributed, so the
-			// run is observed; plans and stats are unaffected.
-			opt.Opts.Obs = &obs.Observer{RuleTiming: true}
+		if *cache {
+			pc = volcano.NewPlanCache(512)
 		}
-		if *trace {
-			opt.OnEvent = func(e volcano.Event) { fmt.Println(e) }
+		reps := *repeat
+		if reps < 1 {
+			reps = 1
 		}
-		plan, err = opt.Optimize(tree, req)
-		stats = opt.Stats
+		for i := 0; i < reps; i++ {
+			opt := volcano.NewOptimizer(vrs)
+			topOpt = opt
+			opt.Opts.Budget = volcano.Budget{Timeout: *timeout, MaxExprs: *budgetExprs}
+			opt.Opts.Cache = pc
+			if inspect {
+				// Inspection wants per-rule wall time attributed, so the
+				// run is observed; plans and stats are unaffected.
+				opt.Opts.Obs = &obs.Observer{RuleTiming: true}
+			}
+			if *trace && i == 0 {
+				opt.OnEvent = func(e volcano.Event) { fmt.Println(e) }
+			}
+			start := time.Now()
+			plan, err = opt.Optimize(tree.Clone(), req)
+			elapsed := time.Since(start)
+			stats = opt.Stats
+			if err != nil {
+				break
+			}
+			if reps > 1 {
+				fmt.Printf("run %d/%d: %v (cache hits=%d misses=%d seeds=%d)\n",
+					i+1, reps, elapsed, stats.CacheHits, stats.CacheMisses, stats.WarmSeeds)
+			}
+		}
+		if *repeat > 1 {
+			fmt.Println()
+		}
 	case "bottomup":
 		opt := volcano.NewBottomUp(vrs)
 		plan, err = opt.Optimize(tree, req)
@@ -161,7 +195,7 @@ func main() {
 	}
 
 	for _, cmd := range commands {
-		if !runCommand(cmd, stats, topOpt) {
+		if !runCommand(cmd, stats, topOpt, pc) {
 			return
 		}
 	}
@@ -170,7 +204,7 @@ func main() {
 		fmt.Print("optshell> ")
 		for sc.Scan() {
 			line := strings.TrimSpace(sc.Text())
-			if line != "" && !runCommand(line, stats, topOpt) {
+			if line != "" && !runCommand(line, stats, topOpt, pc) {
 				return
 			}
 			fmt.Print("optshell> ")
@@ -180,7 +214,7 @@ func main() {
 
 // runCommand executes one inspection command; it returns false when the
 // session should end.
-func runCommand(line string, stats *volcano.Stats, opt *volcano.Optimizer) bool {
+func runCommand(line string, stats *volcano.Stats, opt *volcano.Optimizer, pc *volcano.PlanCache) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ":stats":
@@ -221,8 +255,10 @@ func runCommand(line string, stats *volcano.Stats, opt *volcano.Optimizer) bool 
 			}
 			fmt.Print(out)
 		}
+	case ":cache":
+		fmt.Println(pc.String())
 	case ":help":
-		fmt.Println("commands: :stats  :explain <group>  :memo  :help  :quit")
+		fmt.Println("commands: :stats  :explain <group>  :memo  :cache  :help  :quit")
 	case ":quit", ":q", ":exit":
 		return false
 	default:

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"prairie/internal/core"
+	"prairie/internal/oodb"
+	"prairie/internal/p2v"
+	"prairie/internal/qgen"
+	"prairie/internal/volcano"
+)
+
+// This file measures the cross-query plan cache on a repeat workload:
+// a zipfian stream of draws over a pool of structurally distinct
+// queries, optimized once cold (no cache) and once warm (one shared
+// cache), the deployment pattern the cache targets — production query
+// traffic dominated by a small set of hot statements.
+
+// repeatQuery is one pool entry: a prepared query plus its cold-pass
+// reference plan for the warm-pass identity check.
+type repeatQuery struct {
+	name string
+	tree *core.Expr
+	req  *core.Descriptor
+	plan string // cold-pass plan rendering, filled by the cold pass
+}
+
+// passResult aggregates one pass over the draw stream.
+type passResult struct {
+	total      time.Duration // wall time across all draws
+	hitTime    time.Duration // wall time of full-hit draws only
+	hits       int           // draws answered entirely from the cache
+	warmSeeds  int           // partial hits that seeded branch-and-bound
+	pruned     int           // branch-and-bound prunings across the pass
+	allocs     uint64        // heap allocations across the pass
+	perQ       []time.Duration
+	perQDraws  []int
+	perQHits   []int
+	perQMisses []int
+}
+
+// runRepeatPass optimizes every draw with a fresh optimizer; pc == nil
+// is the cold pass, which also records each query's reference plan. The
+// warm pass verifies every plan against that reference byte-for-byte —
+// the cache must be invisible in the output.
+func runRepeatPass(opts Options, vrs *volcano.RuleSet, queries []repeatQuery, draws []int, pc *volcano.PlanCache) (passResult, error) {
+	r := passResult{
+		perQ:       make([]time.Duration, len(queries)),
+		perQDraws:  make([]int, len(queries)),
+		perQHits:   make([]int, len(queries)),
+		perQMisses: make([]int, len(queries)),
+	}
+	vopts := opts.volcanoOpts()
+	vopts.Cache = pc
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for _, d := range draws {
+		q := &queries[d]
+		opt := volcano.NewOptimizer(vrs)
+		opt.Opts = vopts
+		start := time.Now()
+		plan, err := opt.Optimize(q.tree.Clone(), q.req)
+		el := time.Since(start)
+		if err != nil {
+			return r, fmt.Errorf("experiments: repeat %s: %w", q.name, err)
+		}
+		opts.collect(opt.Stats)
+		rendered := plan.Format()
+		if pc == nil {
+			if q.plan == "" {
+				q.plan = rendered
+			}
+		} else if rendered != q.plan {
+			return r, fmt.Errorf("experiments: repeat %s: warm plan differs from cold plan:\nwarm: %s\ncold: %s",
+				q.name, rendered, q.plan)
+		}
+		r.total += el
+		r.perQ[d] += el
+		r.perQDraws[d]++
+		r.perQHits[d] += opt.Stats.CacheHits
+		r.perQMisses[d] += opt.Stats.CacheMisses
+		r.warmSeeds += opt.Stats.WarmSeeds
+		r.pruned += opt.Stats.Pruned
+		if opt.Stats.CacheHits > 0 && opt.Stats.CacheMisses == 0 {
+			r.hits++
+			r.hitTime += el
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	r.allocs = m1.Mallocs - m0.Mallocs
+	return r, nil
+}
+
+// RepeatWorkload runs the plan-cache experiment: a pool of E1/E2/E3
+// queries of varying width over ONE catalog instance (so chain prefixes
+// are genuine shared subtrees and partial hits can warm-start), a
+// zipfian draw stream with a high repeat rate, and a cold-versus-warm
+// comparison. The resulting table backs `make bench-json`
+// (BENCH_plancache.json); its Extra metrics are the acceptance numbers:
+// full-hit speedup, hit rate, and the warm-start pruning gain.
+func RepeatWorkload(opts Options) (*Table, error) {
+	opts = opts.observe()
+	const maxN = 6
+	seed := opts.seeds()[0]
+	cat := qgen.Catalog(maxN, seed, false)
+	o, vrs, rep, err := buildPrairieOODB(cat)
+	if err != nil {
+		return nil, err
+	}
+	pool := []struct {
+		e      qgen.ExprKind
+		lo, hi int
+	}{
+		{qgen.E1, 2, maxN},
+		{qgen.E2, 2, 4},
+		{qgen.E3, 2, 3},
+	}
+	var queries []repeatQuery
+	for _, p := range pool {
+		for n := p.lo; n <= p.hi; n++ {
+			tree, err := qgen.Build(o, p.e, n)
+			if err != nil {
+				return nil, err
+			}
+			tree, req, err := rep.PrepareQuery(tree, nil)
+			if err != nil {
+				return nil, err
+			}
+			queries = append(queries, repeatQuery{name: fmt.Sprintf("%v/n%d", p.e, n), tree: tree, req: req})
+		}
+	}
+	draws := qgen.ZipfDraws(len(queries), opts.draws(), 1.3, seed)
+
+	cold, err := runRepeatPass(opts, vrs, queries, draws, nil)
+	if err != nil {
+		return nil, err
+	}
+	pc := volcano.NewPlanCache(opts.cacheSize())
+	warm, err := runRepeatPass(opts, vrs, queries, draws, pc)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Repeat workload: cross-query plan cache, %d zipfian draws over %d queries (capacity %d)",
+			len(draws), len(queries), pc.Capacity()),
+		Header: []string{"query", "draws", "cold_ms/op", "warm_ms/op", "hits", "misses"},
+		Notes: []string{
+			"one catalog instance: chain prefixes are shared subtrees, so misses warm-start from cached prefixes",
+			"every warm plan verified byte-identical to its cold counterpart",
+		},
+	}
+	addRow := func(name string, d int, c, w time.Duration, hits, misses int) {
+		cell := func(t time.Duration, k int) string {
+			if k == 0 {
+				return "-"
+			}
+			return durMS(t / time.Duration(k))
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", d), cell(c, d), cell(w, d),
+			fmt.Sprintf("%d", hits), fmt.Sprintf("%d", misses)})
+	}
+	for i := range queries {
+		addRow(queries[i].name, cold.perQDraws[i], cold.perQ[i], warm.perQ[i],
+			warm.perQHits[i], warm.perQMisses[i])
+	}
+	addRow("total", len(draws), cold.total, warm.total, warm.hits, len(draws)-warm.hits)
+
+	snap := pc.Snapshot()
+	t.Extra = map[string]float64{
+		"cold_ns_per_op":     float64(cold.total.Nanoseconds()) / float64(len(draws)),
+		"warm_ns_per_op":     float64(warm.total.Nanoseconds()) / float64(len(draws)),
+		"hit_rate":           float64(warm.hits) / float64(len(draws)),
+		"repeat_rate":        qgen.RepeatRate(draws),
+		"warm_seeds":         float64(warm.warmSeeds),
+		"pruned_cold":        float64(cold.pruned),
+		"pruned_warm":        float64(warm.pruned),
+		"cold_allocs_per_op": float64(cold.allocs) / float64(len(draws)),
+		"warm_allocs_per_op": float64(warm.allocs) / float64(len(draws)),
+		"cache_entries":      float64(snap.Entries),
+		"cache_evictions":    float64(snap.Evictions),
+	}
+	if warm.hits > 0 {
+		hitNS := float64(warm.hitTime.Nanoseconds()) / float64(warm.hits)
+		t.Extra["hit_ns_per_op"] = hitNS
+		if hitNS > 0 {
+			t.Extra["speedup_full_hit"] = t.Extra["cold_ns_per_op"] / hitNS
+		}
+	}
+
+	// Warm-start in isolation: cache only the proper prefixes of an E2
+	// chain, then optimize the full chain — a pure partial hit. The
+	// cached prefix winners become branch-and-bound incumbents, so
+	// pruning can only grow; the plan stays byte-identical.
+	ws, err := warmStartDemo(opts, vrs, o, rep)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range ws {
+		t.Extra[k] = v
+	}
+	opts.attach(t)
+	return t, nil
+}
+
+// warmStartDemo isolates the memo warm-start effect from full hits: it
+// measures branch-and-bound pruning on an E2 chain cold, then again
+// with a cache holding only the chain's proper prefixes. (E2's
+// materialize step gives the chain interior structure whose incumbents
+// actually tighten the bound; on plain E1 chains the seeds fire but the
+// cold search already prunes everything they would.)
+func warmStartDemo(opts Options, vrs *volcano.RuleSet, o *oodb.Opt, rep *p2v.Report) (map[string]float64, error) {
+	const maxN = 4
+	run := func(pc *volcano.PlanCache, n int) (*volcano.PExpr, *volcano.Stats, error) {
+		tree, err := qgen.Build(o, qgen.E2, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, req, err := rep.PrepareQuery(tree, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := volcano.NewOptimizer(vrs)
+		opt.Opts = opts.volcanoOpts()
+		opt.Opts.Cache = pc
+		plan, err := opt.Optimize(tree, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.collect(opt.Stats)
+		return plan, opt.Stats, nil
+	}
+	coldPlan, coldStats, err := run(nil, maxN)
+	if err != nil {
+		return nil, err
+	}
+	pc := volcano.NewPlanCache(opts.cacheSize())
+	for n := 2; n < maxN; n++ {
+		if _, _, err := run(pc, n); err != nil {
+			return nil, err
+		}
+	}
+	warmPlan, warmStats, err := run(pc, maxN)
+	if err != nil {
+		return nil, err
+	}
+	if warmPlan.Format() != coldPlan.Format() {
+		return nil, fmt.Errorf("experiments: warm-start plan differs from cold plan:\nwarm: %s\ncold: %s",
+			warmPlan, coldPlan)
+	}
+	return map[string]float64{
+		"warmstart_pruned_cold": float64(coldStats.Pruned),
+		"warmstart_pruned":      float64(warmStats.Pruned),
+		"warmstart_seeds":       float64(warmStats.WarmSeeds),
+	}, nil
+}

@@ -81,6 +81,11 @@ type BatchOptions struct {
 	// inherit this one — with per-worker trace rows when a Tracer is
 	// attached.
 	Obs *obs.Observer
+	// Cache attaches a shared cross-query plan cache to every item that
+	// doesn't set its own Opts.Cache: repeated queries across the batch
+	// hit, and concurrent workers missing on the same fingerprint
+	// collapse into one search (singleflight).
+	Cache *PlanCache
 }
 
 // WorkerStats aggregates one pool worker's activity.
@@ -200,6 +205,9 @@ func OptimizeBatchOpts(ctx context.Context, items []BatchItem, bo BatchOptions) 
 				if it.Opts.Obs == nil {
 					it.Opts.Obs = bo.Obs
 					it.Opts.TraceTID = tid
+				}
+				if it.Opts.Cache == nil {
+					it.Opts.Cache = bo.Cache
 				}
 				results[i] = runBatchItem(ctx, it)
 				busy := time.Since(pickup)

@@ -1,0 +1,249 @@
+package volcano
+
+import (
+	"context"
+	"fmt"
+
+	"prairie/internal/core"
+	"prairie/internal/plancache"
+)
+
+// PlanCache is the engine-facing handle of the cross-query plan cache:
+// a sharded LRU of extracted winner plans keyed by canonical query
+// fingerprint, required physical properties, budget class, rule-set
+// scope, and cache epoch, with singleflight collapsing of concurrent
+// misses (see internal/plancache for the storage layer).
+//
+// One PlanCache may be shared by any number of optimizers and batch
+// workers. A nil *PlanCache — or NewPlanCache(0) — is a valid disabled
+// handle that leaves the engine byte-identical to a cacheless build.
+type PlanCache struct {
+	c *plancache.Cache[cachedPlan]
+}
+
+// NewPlanCache returns a cache holding up to capacity plans;
+// capacity <= 0 yields a disabled handle.
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{c: plancache.New[cachedPlan](capacity)}
+}
+
+// Enabled reports whether the cache stores anything.
+func (pc *PlanCache) Enabled() bool { return pc != nil && pc.c.Enabled() }
+
+// Capacity returns the configured plan budget (0 when disabled).
+func (pc *PlanCache) Capacity() int {
+	if pc == nil {
+		return 0
+	}
+	return pc.c.Capacity()
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	if pc == nil {
+		return 0
+	}
+	return pc.c.Len()
+}
+
+// Invalidate starts a new cache generation; call it when the catalog
+// backing the rule set changes in place. (A freshly built RuleSet needs
+// no invalidation — every instance has its own scope.) It returns the
+// new epoch.
+func (pc *PlanCache) Invalidate() uint64 {
+	if pc == nil {
+		return 0
+	}
+	return pc.c.Invalidate()
+}
+
+// Snapshot returns the cache's counters.
+func (pc *PlanCache) Snapshot() plancache.Stats {
+	if pc == nil {
+		return plancache.Stats{}
+	}
+	return pc.c.Snapshot()
+}
+
+// String renders a one-line summary for interactive inspection.
+func (pc *PlanCache) String() string {
+	if !pc.Enabled() {
+		return "plancache: disabled"
+	}
+	s := pc.Snapshot()
+	return fmt.Sprintf(
+		"plancache: %d/%d entries, epoch %d; hits=%d misses=%d puts=%d evictions=%d peeks=%d/%d flight waits=%d shared=%d",
+		s.Entries, pc.Capacity(), s.Epoch, s.Hits, s.Misses, s.Puts,
+		s.Evictions, s.PeekHits, s.Peeks, s.FlightWaits, s.FlightShared)
+}
+
+// cachedPlan is one cache entry: the winner plan detached from any memo,
+// its cost, and the memo-shape statistics of the cold run that produced
+// it. Hits copy the shape counters into the run's Stats so downstream
+// accounting (the experiments' group-equality checks, batch aggregates)
+// sees the search the plan stands for.
+type cachedPlan struct {
+	plan      *PExpr
+	cost      float64
+	groups    int
+	exprs     int
+	merges    int
+	memoBytes int64
+}
+
+// cacheSeed is one warm-start candidate: a proper subtree of the query,
+// remembered by the memo group it was interned into plus its cache
+// fingerprint. findBest consults these to seed branch-and-bound with a
+// cached incumbent (see lookupSeed).
+type cacheSeed struct {
+	gid   GroupID
+	fp    uint64
+	canon string
+}
+
+// budgetClass renders the options fields that can change which plan a
+// search produces; it is folded into the cache key so differently
+// bounded searches never share entries.
+func budgetClass(opts Options) string {
+	b := opts.Budget
+	if b.IsZero() && opts.Explorer == ExplorerWorklist {
+		return "0"
+	}
+	return fmt.Sprintf("t%s,e%d,g%d,f%d,x%d",
+		b.Timeout, b.MaxExprs, b.MaxGroups, b.MaxRuleFirings, opts.Explorer)
+}
+
+// rootKey builds the cache key of a whole query.
+func (o *Optimizer) rootKey(tree *core.Expr, req *core.Descriptor) plancache.Key {
+	fp, canon := o.RS.fingerprintNode(tree)
+	return o.finishKey(fp, canon, req)
+}
+
+// finishKey extends a tree fingerprint with the required physical
+// properties and the budget class, and stamps scope and epoch.
+func (o *Optimizer) finishKey(fp uint64, canon string, req *core.Descriptor) plancache.Key {
+	phys := o.RS.Class.Phys
+	bstr := budgetClass(o.Opts)
+	fp = core.HashCombine(fp, req.HashOn(phys))
+	fp = core.HashCombine(fp, hashLeafName(bstr))
+	return plancache.Key{
+		Fingerprint: fp,
+		Canon:       canon + "|req:" + reqCanon(req, phys) + "|b:" + bstr,
+		Scope:       o.RS.cacheScope(),
+		Epoch:       o.Opts.Cache.c.Epoch(),
+	}
+}
+
+// cachedOptimize wraps one optimization in the plan cache; it is the
+// dispatch target of OptimizeContext whenever Options.Cache is enabled.
+//
+//   - Full hit: the cached plan is cloned out, no search runs.
+//   - Miss (leader): the cold search runs with warm-start seeds
+//     installed; a completed (non-degraded) result is published to the
+//     cache and to every follower waiting on the same key.
+//   - Miss (follower): wait for the leader; adopt its shared result, or
+//     run an independent search when the leader declined to share
+//     (degraded or failed runs are never cached).
+func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	if req == nil {
+		req = core.NewDescriptor(o.RS.Algebra.Props)
+	}
+	pc := o.Opts.Cache
+	a := pc.c.Acquire(o.rootKey(tree, req))
+	if a.Hit {
+		o.Stats.CacheHits++
+		return o.cacheHit(a.Value), nil
+	}
+	if !a.Leader {
+		o.Stats.FlightWaits++
+		if cp, ok, err := a.Wait(ctx); err == nil && ok {
+			o.Stats.FlightShared++
+			o.Stats.CacheHits++
+			return o.cacheHit(cp), nil
+		}
+		// Leader declined to share, or our wait was cancelled: run an
+		// independent search (a cancelled context degrades it per
+		// OptimizeContext semantics).
+		o.Stats.CacheMisses++
+		return o.optimizeContext(ctx, tree, req)
+	}
+	o.Stats.CacheMisses++
+	// A panicking rule hook must not wedge followers: the deferred
+	// no-share Complete is idempotent, so the success path below wins
+	// when it runs first.
+	defer a.Complete(cachedPlan{}, false)
+	o.warm = true
+	plan, err := o.optimizeContext(ctx, tree, req)
+	o.warm = false
+	if err != nil || plan == nil || o.Stats.Degraded {
+		a.Complete(cachedPlan{}, false)
+		return plan, err
+	}
+	cp := cachedPlan{
+		plan:      plan.Clone(),
+		cost:      plan.Cost(o.RS.Class),
+		groups:    o.Stats.Groups,
+		exprs:     o.Stats.Exprs,
+		merges:    o.Stats.Merges,
+		memoBytes: o.Stats.MemoBytes,
+	}
+	a.Complete(cp, true)
+	return plan, nil
+}
+
+// cacheHit materializes a cache entry as this run's result: the plan is
+// cloned (callers own their plans) and the cold run's memo-shape
+// counters are copied into Stats, standing in for the search that was
+// skipped.
+func (o *Optimizer) cacheHit(cp cachedPlan) *PExpr {
+	o.Stats.Groups = cp.groups
+	o.Stats.Exprs = cp.exprs
+	o.Stats.Merges = cp.merges
+	o.Stats.MemoBytes = cp.memoBytes
+	return cp.plan.Clone()
+}
+
+// installSeeds records every proper interior subtree of the query as a
+// warm-start candidate. Called after the tree is interned (Insert is
+// idempotent, so re-interning subtrees only reads the memo); group ids
+// are canonicalized again at lookup time because exploration merges
+// groups.
+func (o *Optimizer) installSeeds(tree *core.Expr) {
+	o.seeds = o.seeds[:0]
+	var walk func(e *core.Expr, root bool)
+	walk = func(e *core.Expr, root bool) {
+		if e.IsLeaf() {
+			return
+		}
+		if !root {
+			fp, canon := o.RS.fingerprintNode(e)
+			o.seeds = append(o.seeds, cacheSeed{gid: o.Memo.Insert(e), fp: fp, canon: canon})
+		}
+		for _, k := range e.Kids {
+			walk(k, false)
+		}
+	}
+	walk(tree, true)
+}
+
+// lookupSeed probes the cache for a winner of group g under req: a hit
+// means some earlier query's whole search problem was exactly this
+// subproblem, so its cached winner is a valid incumbent — findBest
+// starts branch-and-bound from its real cost instead of +Inf, and any
+// strictly cheaper plan still replaces it (costs are monotonic, so a
+// plan the seed prunes could never have beaten the seed). Probes use
+// Peek, not Get: subtree lookups must not distort the hit rate.
+func (o *Optimizer) lookupSeed(g GroupID, req *core.Descriptor) (*PExpr, float64, bool) {
+	pc := o.Opts.Cache
+	for i := range o.seeds {
+		s := &o.seeds[i]
+		if o.Memo.Find(s.gid) != g {
+			continue
+		}
+		if cp, ok := pc.c.Peek(o.finishKey(s.fp, s.canon, req)); ok {
+			o.Stats.WarmSeeds++
+			return cp.plan.Clone(), cp.cost, true
+		}
+	}
+	return nil, 0, false
+}

@@ -196,20 +196,10 @@ func (m *Memo) stamp(e *LExpr, g *Group) {
 }
 
 // idProps returns the properties that identify an expression of op in
-// duplicate detection: the operation's declared additional parameters
-// intersected with the argument class, or the whole argument class when
-// none are declared.
+// duplicate detection; it delegates to the rule set so the plan-cache
+// fingerprint (see fingerprint.go) digests exactly the same projection.
 func (m *Memo) idProps(op *core.Operation) []core.PropID {
-	if len(op.Args) == 0 {
-		return m.rs.Class.Arg
-	}
-	var out []core.PropID
-	for _, p := range op.Args {
-		if m.rs.Class.IsArg(p) {
-			out = append(out, p)
-		}
-	}
-	return out
+	return m.rs.idProps(op)
 }
 
 // selfHash computes the kid-independent part of an expression's

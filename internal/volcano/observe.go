@@ -56,6 +56,13 @@ func recordRun(ob *obs.Observer, s *Stats, elapsed time.Duration, err error) {
 	reg.Counter("prairie_budget_checkpoints_total").Add(int64(s.BudgetChecks))
 	reg.Counter("prairie_costed_plans_total").Add(int64(s.CostedPlans))
 	reg.Counter("prairie_pruned_total").Add(int64(s.Pruned))
+	if s.CacheHits+s.CacheMisses+s.FlightWaits > 0 {
+		reg.Counter("prairie_plancache_hits_total").Add(int64(s.CacheHits))
+		reg.Counter("prairie_plancache_misses_total").Add(int64(s.CacheMisses))
+		reg.Counter("prairie_plancache_warm_seeds_total").Add(int64(s.WarmSeeds))
+		reg.Counter("prairie_plancache_flight_waits_total").Add(int64(s.FlightWaits))
+		reg.Counter("prairie_plancache_flight_shared_total").Add(int64(s.FlightShared))
+	}
 	reg.Gauge("prairie_memo_bytes_estimate").Set(float64(s.MemoBytes))
 	reg.Gauge("prairie_worklist_depth_max").Max(float64(s.MaxQueue))
 	flushCounts := func(name string, m map[string]int) {

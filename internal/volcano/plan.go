@@ -20,6 +20,26 @@ type PExpr struct {
 // IsLeaf reports whether the node is a stored file.
 func (p *PExpr) IsLeaf() bool { return p.Alg == nil }
 
+// Clone deep-copies the plan, including descriptors; the plan cache
+// detaches entries from any memo-owned state on the way in and hands
+// each hit its own copy on the way out.
+func (p *PExpr) Clone() *PExpr {
+	if p == nil {
+		return nil
+	}
+	q := &PExpr{Alg: p.Alg, File: p.File}
+	if p.D != nil {
+		q.D = p.D.Clone()
+	}
+	if len(p.Kids) > 0 {
+		q.Kids = make([]*PExpr, len(p.Kids))
+		for i, k := range p.Kids {
+			q.Kids[i] = k.Clone()
+		}
+	}
+	return q
+}
+
 // Cost returns the plan's estimated cost under the classification.
 func (p *PExpr) Cost(class Classification) float64 {
 	if p.D == nil {

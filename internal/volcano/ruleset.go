@@ -13,6 +13,7 @@ package volcano
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"prairie/internal/core"
 )
@@ -189,7 +190,16 @@ type RuleSet struct {
 
 	indexOnce sync.Once
 	idx       *ruleIndex
+	// cacheID is the rule set's process-unique plan-cache scope,
+	// assigned when the dispatch index is built. Two RuleSet instances
+	// never share cached plans even when structurally identical: their
+	// rule hooks close over different catalogs, so equal-looking queries
+	// may cost differently.
+	cacheID uint64
 }
+
+// cacheScopeCounter allocates process-unique RuleSet.cacheID values.
+var cacheScopeCounter atomic.Uint64
 
 // transEntry is one transformation rule in the operator index, carrying
 // its global position (for per-rule counters) and whether its pattern is
@@ -212,6 +222,11 @@ type implEntry struct {
 type ruleIndex struct {
 	trans map[*core.Operation][]transEntry
 	impls map[*core.Operation][]implEntry
+	// commut marks operators with an unconditional commute rule
+	// (OP(?a,?b) -> OP(?b,?a), no cond_code): the plan-cache fingerprint
+	// may sort their inputs, because the rule proves both orders land in
+	// one equivalence class with the same closure and winners.
+	commut map[*core.Operation]bool
 }
 
 // index returns the operator-indexed dispatch tables, building them on
@@ -230,9 +245,66 @@ func (rs *RuleSet) index() *ruleIndex {
 		for i, r := range rs.Impls {
 			ix.impls[r.Op] = append(ix.impls[r.Op], implEntry{rule: r, idx: i})
 		}
+		for _, r := range rs.Trans {
+			if op := commutedOp(r); op != nil {
+				if ix.commut == nil {
+					ix.commut = make(map[*core.Operation]bool)
+				}
+				ix.commut[op] = true
+			}
+		}
+		rs.cacheID = cacheScopeCounter.Add(1)
 		rs.idx = ix
 	})
 	return rs.idx
+}
+
+// commutedOp reports the operator an unconditional binary commute rule
+// swaps, or nil. The shape is exactly OP(?a, ?b) -> OP(?b, ?a) with no
+// cond_code and a != b: only then does the rule prove — for every
+// descriptor — that both input orders are equivalent.
+func commutedOp(r *TransRule) *core.Operation {
+	if r.Cond != nil || r.LHS == nil || r.RHS == nil {
+		return nil
+	}
+	l, rhs := r.LHS, r.RHS
+	if l.Op == nil || l.Op != rhs.Op || len(l.Kids) != 2 || len(rhs.Kids) != 2 {
+		return nil
+	}
+	a, b := l.Kids[0], l.Kids[1]
+	if !a.IsVar() || !b.IsVar() || a.Var == b.Var {
+		return nil
+	}
+	if !rhs.Kids[0].IsVar() || !rhs.Kids[1].IsVar() {
+		return nil
+	}
+	if rhs.Kids[0].Var != b.Var || rhs.Kids[1].Var != a.Var {
+		return nil
+	}
+	return l.Op
+}
+
+// commutative reports whether op has an unconditional commute rule.
+func (rs *RuleSet) commutative(op *core.Operation) bool { return rs.index().commut[op] }
+
+// cacheScope returns the rule set's process-unique plan-cache scope.
+func (rs *RuleSet) cacheScope() uint64 { rs.index(); return rs.cacheID }
+
+// idProps returns the properties that identify an expression of op in
+// duplicate detection (and in the plan-cache fingerprint): the
+// operation's declared additional parameters intersected with the
+// argument class, or the whole argument class when none are declared.
+func (rs *RuleSet) idProps(op *core.Operation) []core.PropID {
+	if len(op.Args) == 0 {
+		return rs.Class.Arg
+	}
+	var out []core.PropID
+	for _, p := range op.Args {
+		if rs.Class.IsArg(p) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // transFor returns the transformation rules whose LHS root is op.

@@ -66,6 +66,13 @@ type Options struct {
 	// set distinct ids so concurrent optimizations appear as separate
 	// rows in Perfetto.
 	TraceTID int
+	// Cache attaches a cross-query plan cache: structurally equivalent
+	// queries (same fingerprint, requirement, budget class, rule-set
+	// scope) skip the search entirely, concurrent misses collapse to one
+	// search, and cold searches warm-start branch-and-bound from cached
+	// subtree winners. nil — the default — leaves plans, stats, and
+	// errors byte-identical to a cacheless build.
+	Cache *PlanCache
 }
 
 // DefaultMaxExprs is the default search-space cap.
@@ -111,6 +118,12 @@ type Optimizer struct {
 	// run is the resource accounting of the current OptimizeContext call
 	// (see budget.go).
 	run budgetState
+	// warm marks a cache-miss leader run: optimizeContext installs
+	// warm-start seeds for the query's subtrees (see cache.go).
+	warm bool
+	// seeds are the current run's warm-start candidates; findBest
+	// consults them via lookupSeed.
+	seeds []cacheSeed
 }
 
 // NewOptimizer returns an optimizer over a fresh memo.
@@ -156,13 +169,23 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, tree *core.Expr, req *c
 		// only ever see the cached o.timing / o.tr guards.
 		start := time.Now()
 		sp := o.tr.Begin(o.tid, "optimize", "optimize")
-		plan, err := o.optimizeContext(ctx, tree, req)
+		plan, err := o.dispatchOptimize(ctx, tree, req)
 		sp.EndArgs(map[string]any{
 			"groups": o.Stats.Groups, "exprs": o.Stats.Exprs,
 			"winners": o.Stats.Winners, "degraded": o.Stats.Degraded,
 		})
 		recordRun(ob, o.Stats, time.Since(start), err)
 		return plan, err
+	}
+	return o.dispatchOptimize(ctx, tree, req)
+}
+
+// dispatchOptimize routes through the plan cache when one is attached;
+// the cacheless path is a direct call, keeping disabled-cache runs
+// byte-identical to previous releases.
+func (o *Optimizer) dispatchOptimize(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	if o.Opts.Cache.Enabled() {
+		return o.cachedOptimize(ctx, tree, req)
 	}
 	return o.optimizeContext(ctx, tree, req)
 }
@@ -173,6 +196,11 @@ func (o *Optimizer) optimizeContext(ctx context.Context, tree *core.Expr, req *c
 		req = core.NewDescriptor(o.RS.Algebra.Props)
 	}
 	root := o.Memo.Insert(tree)
+	if o.warm {
+		o.installSeeds(tree)
+	} else if len(o.seeds) != 0 {
+		o.seeds = o.seeds[:0]
+	}
 	if err := o.explore(); err != nil {
 		if errors.Is(err, errBudget) {
 			return o.degrade(root, tree, req)
@@ -701,13 +729,20 @@ func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, 
 	grp.winners[key] = append(grp.winners[key], w)
 	o.Stats.Winners++
 
+	var seedPlan *PExpr
+	seedCost := math.Inf(1)
+	if len(o.seeds) != 0 {
+		if p, c, ok := o.lookupSeed(g, req); ok {
+			seedPlan, seedCost = p, c
+		}
+	}
 	var sp obs.Span
 	if o.tr != nil {
 		// One span per (group, requirement) winner computation; the
 		// recursion over input groups nests naturally in the trace.
 		sp = o.tr.Begin(o.tid, fmt.Sprintf("group %d [%s]", g, reqString(req, phys)), "findBest")
 	}
-	best, bestCost, err := o.optimizeGroup(grp, req)
+	best, bestCost, err := o.optimizeGroup(grp, req, seedPlan, seedCost)
 	if o.tr != nil {
 		args := map[string]any{"cost": bestCost}
 		if err != nil {
@@ -736,11 +771,20 @@ func (o *Optimizer) findBest(g GroupID, req *core.Descriptor) (*PExpr, float64, 
 	return best, bestCost, nil
 }
 
-func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor) (*PExpr, float64, error) {
+// optimizeGroup enumerates the group's physical alternatives. A
+// non-nil seed is a cached winner for exactly this (group, req, budget)
+// subproblem, used as the branch-and-bound incumbent: enumeration
+// starts from its real cost instead of +Inf, and — costs being
+// monotonic — only strictly cheaper plans replace it, so the result
+// matches a cold search's winner.
+func (o *Optimizer) optimizeGroup(grp *Group, req *core.Descriptor, seed *PExpr, seedCost float64) (*PExpr, float64, error) {
 	phys := o.RS.Class.Phys
 	costID := o.RS.Class.Cost
-	var best *PExpr
+	best := seed
 	bestCost := math.Inf(1)
+	if seed != nil {
+		bestCost = seedCost
+	}
 
 	consider := func(plan *PExpr, cost float64) {
 		o.Stats.CostedPlans++

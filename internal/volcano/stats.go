@@ -48,6 +48,20 @@ type Stats struct {
 	TransTime map[string]time.Duration
 	ImplTime  map[string]time.Duration
 
+	// Plan-cache accounting (all zero when no cache is attached, so
+	// cacheless runs render byte-identically to previous releases):
+	// CacheHits counts runs served from the cross-query plan cache
+	// (including singleflight adoptions), CacheMisses runs that searched,
+	// WarmSeeds subproblems whose branch-and-bound started from a cached
+	// incumbent, FlightWaits runs that waited behind a concurrent
+	// identical search, and FlightShared those waits that adopted the
+	// leader's result.
+	CacheHits    int
+	CacheMisses  int
+	WarmSeeds    int
+	FlightWaits  int
+	FlightShared int
+
 	// MemoBytes is a rough end-of-run estimate of the memo's heap
 	// footprint (see Memo.MemEstimate).
 	MemoBytes int64
@@ -119,6 +133,11 @@ func (s *Stats) Merge(o *Stats) {
 	s.Winners += o.Winners
 	s.CostedPlans += o.CostedPlans
 	s.Pruned += o.Pruned
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.WarmSeeds += o.WarmSeeds
+	s.FlightWaits += o.FlightWaits
+	s.FlightShared += o.FlightShared
 	s.MemoBytes += o.MemoBytes
 	s.BudgetChecks += o.BudgetChecks
 	mergeCounts(&s.TransMatched, o.TransMatched)
@@ -230,6 +249,10 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, " DEGRADED(%s via %s)", s.DegradeCause, s.DegradePath)
 	}
 	b.WriteByte('\n')
+	if s.CacheHits+s.CacheMisses+s.WarmSeeds+s.FlightWaits+s.FlightShared > 0 {
+		fmt.Fprintf(&b, "cache: hits=%d misses=%d seeds=%d waits=%d shared=%d\n",
+			s.CacheHits, s.CacheMisses, s.WarmSeeds, s.FlightWaits, s.FlightShared)
+	}
 	fmt.Fprintf(&b, "trans matched=%d fired=%d; impl matched=%d fired=%d\n",
 		s.DistinctTransMatched(), s.DistinctTransFired(),
 		s.DistinctImplMatched(), s.DistinctImplFired())

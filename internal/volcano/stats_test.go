@@ -86,3 +86,33 @@ func TestStatsMerge(t *testing.T) {
 		t.Error("Merge(nil) changed the stats")
 	}
 }
+
+// TestStatsCacheCounters: the plan-cache counters survive Merge (so
+// BatchReport aggregates and experiment tables see them) and render in
+// String only when a cache was actually in play — cacheless runs stay
+// byte-identical to previous releases.
+func TestStatsCacheCounters(t *testing.T) {
+	plain := NewStats()
+	if strings.Contains(plain.String(), "cache:") {
+		t.Error("cacheless stats render a cache line")
+	}
+
+	a := NewStats()
+	a.CacheHits, a.CacheMisses, a.WarmSeeds = 3, 1, 2
+	b := NewStats()
+	b.CacheHits, b.CacheMisses, b.WarmSeeds = 1, 2, 5
+	b.FlightWaits, b.FlightShared = 4, 3
+	a.Merge(b)
+	if a.CacheHits != 4 || a.CacheMisses != 3 || a.WarmSeeds != 7 {
+		t.Errorf("cache counters not summed: hits=%d misses=%d seeds=%d",
+			a.CacheHits, a.CacheMisses, a.WarmSeeds)
+	}
+	if a.FlightWaits != 4 || a.FlightShared != 3 {
+		t.Errorf("flight counters not summed: waits=%d shared=%d",
+			a.FlightWaits, a.FlightShared)
+	}
+	s := a.String()
+	if !strings.Contains(s, "cache: hits=4 misses=3 seeds=7 waits=4 shared=3") {
+		t.Errorf("String drops cache counters:\n%s", s)
+	}
+}

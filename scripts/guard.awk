@@ -1,0 +1,33 @@
+# Neutrality-guard comparator shared by `make bench-guard` (observability)
+# and `make cache-guard` (plan cache). Reads `go test -bench` output for a
+# guard benchmark shaped Benchmark<X>Guard/<workload>/<mode>-N with modes
+# off (feature absent), disabled (attached but inert) and on (fully
+# enabled), keeps the minimum ns/op per mode across -count repetitions
+# (filtering scheduler noise), and fails when the disabled path exceeds
+# the off baseline by more than `pct` percent — an inert feature must be
+# free. The on path is reported informationally.
+#
+# Usage: awk -v pct=2 -v guard=bench-guard -f scripts/guard.awk bench.txt
+/^Benchmark[A-Za-z_]*Guard\// {
+    split($1, parts, "/"); wl = parts[2]; mode = parts[3];
+    sub(/-[0-9]+$/, "", mode);
+    ns = $3 + 0;
+    key = wl "/" mode;
+    if (!(key in best) || ns < best[key]) best[key] = ns;
+    if (mode == "off" || mode == "disabled" || mode == "on") seen[wl] = 1;
+}
+END {
+    fail = 0;
+    for (wl in seen) {
+        off = best[wl "/off"]; dis = best[wl "/disabled"]; on = best[wl "/on"];
+        if (off <= 0) { printf "%s: no off baseline for %s\n", guard, wl; fail = 1; continue }
+        dpct = 100 * (dis - off) / off; opct = 100 * (on - off) / off;
+        printf "%s: %-8s off=%.0fns disabled=%.0fns (%+.2f%%) on=%.0fns (%+.2f%% informational)\n", \
+            guard, wl, off, dis, dpct, on, opct;
+        if (dpct > pct) {
+            printf "%s: FAIL %s disabled-path overhead %.2f%% > %s%%\n", guard, wl, dpct, pct; fail = 1;
+        }
+    }
+    if (fail) exit 1;
+    printf "%s: PASS (disabled-path overhead within %s%%)\n", guard, pct;
+}
