@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-guard cache-guard bench-json ci experiments clean
+.PHONY: all build vet test race bench-smoke bench-guard cache-guard bench-json bench-serve fuzz-smoke cover ci experiments clean
 
 all: ci
 
@@ -55,7 +55,32 @@ bench-json: build
 	$(GO) run ./cmd/optbench -experiment repeat -json > BENCH_plancache.json
 	@echo "bench-json: wrote BENCH_plancache.json"
 
-ci: vet build race bench-smoke cache-guard
+# Archive the service load experiment (throughput, cold vs warm latency
+# percentiles, shed count) for diffing across revisions.
+bench-serve: build
+	$(GO) run ./cmd/optbench -experiment serve -json > BENCH_serve.json
+	@echo "bench-serve: wrote BENCH_serve.json"
+
+# Fuzz smoke: both fuzz targets for FUZZTIME each. FuzzParse drives the
+# rule-language front end (parse -> format -> parse fixed point);
+# FuzzFingerprint property-tests the plan-cache fingerprint invariants
+# (commutative-input swaps, attrs reordering). Corpora live under
+# testdata/fuzz/; new crashers land there too.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/prairielang
+	$(GO) test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime $(FUZZTIME) .
+
+# Statement-coverage gate: one merged profile, per-package summary, and
+# a hard floor on the total (scripts/cover.awk). Baseline at the time
+# the gate was added: 79.8%; the floor leaves headroom for unexercised
+# glue in new code, not for regressions.
+COVER_FLOOR ?= 75
+cover:
+	$(GO) test -timeout 600s -coverprofile=cover.out ./...
+	@awk -v floor=$(COVER_FLOOR) -f scripts/cover.awk cover.out
+
+ci: vet build race bench-smoke cache-guard fuzz-smoke cover
 
 # Regenerate every paper table/figure (sequential, paper-faithful timing).
 experiments: build

@@ -18,6 +18,11 @@
 //
 //	optbench -experiment repeat -json > BENCH_plancache.json  # zipfian repeat workload, cold vs warm
 //	optbench -experiment repeat -draws 1000 -cache-size 256
+//
+// Service load (see internal/server and cmd/optserve):
+//
+//	optbench -experiment serve -json > BENCH_serve.json  # in-process optserve under a 4-worker HTTP load
+//	optbench -experiment serve -workers 8 -draws 1000
 //	optbench -experiment fig12 -repeats 10 -cache             # figure sweep with repeats served from the cache
 //
 // Observability (see internal/obs):
@@ -42,7 +47,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, all")
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, all")
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
@@ -157,6 +162,7 @@ func main() {
 		"relopt": func() { emit(experiments.Relopt(opts)) },
 		"star":   func() { emit(experiments.StarGraphs(opts)) },
 		"repeat": func() { emit(experiments.RepeatWorkload(opts)) },
+		"serve":  func() { emit(experiments.ServeLoad(opts)) },
 	}
 	if *which == "all" {
 		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {

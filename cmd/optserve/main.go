@@ -1,0 +1,112 @@
+// Command optserve runs the optimizer as an HTTP/JSON service (see
+// internal/server): /v1/optimize and /v1/batch over a registry of
+// prepared rule sets, with per-request budget classes, a shared
+// cross-query plan cache, admission control (429/503 + Retry-After load
+// shedding), per-request timeouts, and the observability surface of
+// internal/obs (/metrics, /vars, /trace, /debug/pprof/, /healthz).
+//
+// Usage:
+//
+//	optserve -addr :8080
+//	optserve -addr :8080 -dsl examples/dslrules/rules.prairie
+//	optserve -addr :8080 -max-inflight 8 -max-queue 32 -queue-wait 100ms
+//
+//	curl -s localhost:8080/v1/rulesets
+//	curl -s localhost:8080/v1/optimize -d '{
+//	  "ruleset": "oodb/volcano",
+//	  "query":   {"family": "E2", "n": 3},
+//	  "budget":  "interactive"
+//	}'
+//
+// SIGINT/SIGTERM drain gracefully: new requests are refused with 503
+// while every in-flight optimization is answered, then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prairie/internal/obs"
+	"prairie/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxN := flag.Int("max-n", 6, "catalog width: servable queries range over n=2..max-n classes")
+	seed := flag.Int64("seed", 101, "catalog generation seed")
+	dsl := flag.String("dsl", "", "path to a Prairie rule specification to serve as the 'dsl' world (e.g. examples/dslrules/rules.prairie)")
+	cacheSize := flag.Int("cache-size", 0, "shared plan-cache capacity (0 = 512, negative = disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently running optimizations (0 = 2×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max queued requests before shedding with 429 (0 = 4×max-inflight)")
+	queueWait := flag.Duration("queue-wait", 0, "max queue wait before shedding with 503 (0 = 250ms)")
+	timeout := flag.Duration("timeout", 0, "default per-request optimization deadline (0 = 5s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "clamp on client-requested deadlines (0 = 30s)")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "optserve:", err)
+		os.Exit(1)
+	}
+
+	var dslSrc string
+	if *dsl != "" {
+		b, err := os.ReadFile(*dsl)
+		if err != nil {
+			fail(err)
+		}
+		dslSrc = string(b)
+	}
+	reg, err := server.DefaultRegistry(*maxN, *seed, dslSrc)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := server.New(server.Config{
+		Registry:       reg,
+		CacheSize:      *cacheSize,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Obs:            &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()},
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "optserve: serving %v on http://%s/ (budget classes via /v1/rulesets)\n",
+		reg.Names(), ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "optserve: %v, draining (max %s)\n", sig, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "optserve: drain:", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "optserve: shutdown:", err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"prairie/internal/obs"
+	"prairie/internal/qgen"
+	"prairie/internal/server"
+)
+
+// This file closes the serving loop: it stands up the real HTTP service
+// (internal/server) in-process, drives it with a qgen-shaped workload
+// through real HTTP clients, and reports throughput plus latency
+// percentiles cold versus warm-cache. The resulting table backs `make
+// bench-serve` (BENCH_serve.json); its Extra metrics are the acceptance
+// numbers: zero shed responses below the shed threshold, p99 reported,
+// and warm p50 at least 5× below cold.
+
+// serveSample is one measured request.
+type serveSample struct {
+	query   int
+	lat     time.Duration
+	hit     bool
+	shed    bool // 429/503
+	err     error
+	planTxt string
+}
+
+// serveClient posts one optimize request and measures the client-side
+// latency (connection reuse via the shared transport keeps the measure
+// about the service, not TCP setup).
+func serveClient(c *http.Client, url string, req server.OptimizeRequest) serveSample {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serveSample{err: err}
+	}
+	start := time.Now()
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		return serveSample{lat: lat, err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serveSample{lat: lat, err: err}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return serveSample{lat: lat, shed: true}
+	default:
+		return serveSample{lat: lat, err: fmt.Errorf("status %d: %s", resp.StatusCode, raw)}
+	}
+	var or server.OptimizeResponse
+	if err := json.Unmarshal(raw, &or); err != nil {
+		return serveSample{lat: lat, err: err}
+	}
+	return serveSample{lat: lat, hit: or.CacheHit, planTxt: or.PlanText}
+}
+
+// percentile returns the q-quantile of sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func sortedLats(samples []serveSample) []time.Duration {
+	out := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		if s.err == nil && !s.shed {
+			out = append(out, s.lat)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ServeLoad runs the service load experiment: an in-process optserve
+// (oodb worlds + relational over generated catalogs), a cold pass
+// naming every pool query once, then a zipfian warm pass fanned over
+// concurrent keep-alive HTTP clients. Every warm plan is verified
+// byte-identical to its cold counterpart — the service must shed or
+// answer correctly, never answer wrong.
+func ServeLoad(opts Options) (*Table, error) {
+	const maxN = 6
+	seed := opts.seeds()[0]
+	workers := opts.Workers
+	if workers <= 1 {
+		workers = 4
+	}
+	reg, err := server.DefaultRegistry(maxN, seed, "")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Registry:    reg,
+		CacheSize:   opts.cacheSize(),
+		MaxInflight: workers,
+		Obs:         opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, closer, err := obs.Serve("127.0.0.1:0", srv.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = closer() }()
+	url := "http://" + addr + "/v1/optimize"
+
+	// The same pool shape as the repeat experiment: chain prefixes over
+	// one catalog are genuine shared subtrees, and the zipf stream has a
+	// production-like repeat rate.
+	pool := []struct {
+		e      qgen.ExprKind
+		lo, hi int
+	}{
+		{qgen.E1, 4, maxN},
+		{qgen.E2, 3, 5},
+		{qgen.E3, 3, 4},
+	}
+	var reqs []server.OptimizeRequest
+	for _, p := range pool {
+		for n := p.lo; n <= p.hi; n++ {
+			reqs = append(reqs, server.OptimizeRequest{
+				Ruleset: "oodb/prairie",
+				Query:   server.QuerySpec{Family: p.e.String(), N: n},
+			})
+		}
+	}
+
+	transport := &http.Transport{MaxIdleConnsPerHost: workers + 1}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	// Cold pass: sequential, one request per pool query; each is a
+	// cache miss and records the reference plan.
+	cold := make([]serveSample, len(reqs))
+	refs := make([]string, len(reqs))
+	for i, rq := range reqs {
+		s := serveClient(client, url, rq)
+		if s.err != nil {
+			return nil, fmt.Errorf("experiments: serve cold %s: %w", rq.Query, s.err)
+		}
+		if s.shed {
+			return nil, fmt.Errorf("experiments: serve cold %s: shed on an idle server", rq.Query)
+		}
+		if s.hit {
+			return nil, fmt.Errorf("experiments: serve cold %s: unexpected cache hit", rq.Query)
+		}
+		s.query = i
+		cold[i] = s
+		refs[i] = s.planTxt
+	}
+
+	// Warm pass: a zipfian draw stream split over concurrent keep-alive
+	// clients — server-shaped load against a populated cache.
+	draws := qgen.ZipfDraws(len(reqs), opts.draws(), 1.3, seed)
+	warm := make([]serveSample, len(draws))
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(draws); i += workers {
+				s := serveClient(client, url, reqs[draws[i]])
+				s.query = draws[i]
+				warm[i] = s
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	perQDraws := make([]int, len(reqs))
+	perQWarm := make([]time.Duration, len(reqs))
+	hits, sheds, mismatches := 0, 0, 0
+	for _, s := range warm {
+		if s.err != nil {
+			return nil, fmt.Errorf("experiments: serve warm %s: %w", reqs[s.query].Query, s.err)
+		}
+		if s.shed {
+			sheds++
+			continue
+		}
+		if s.hit {
+			hits++
+		}
+		if s.planTxt != refs[s.query] {
+			mismatches++
+		}
+		perQDraws[s.query]++
+		perQWarm[s.query] += s.lat
+	}
+	if mismatches > 0 {
+		return nil, fmt.Errorf("experiments: serve: %d warm plans differ from their cold reference", mismatches)
+	}
+
+	coldLats := sortedLats(cold)
+	warmLats := sortedLats(warm)
+	coldP50 := percentile(coldLats, 0.50)
+	warmP50 := percentile(warmLats, 0.50)
+
+	t := &Table{
+		Title: fmt.Sprintf("Service load: %d-worker zipfian stream of %d requests over %d queries (HTTP, shared cache)",
+			workers, len(draws), len(reqs)),
+		Header: []string{"query", "cold_ms", "draws", "warm_ms/op"},
+		Notes: []string{
+			"latency measured client-side over keep-alive HTTP; cold = first request per query (cache miss)",
+			"every warm plan verified byte-identical to its cold reference",
+			fmt.Sprintf("admission: max-inflight %d; sheds below threshold must be zero", workers),
+		},
+	}
+	for i, rq := range reqs {
+		warmCell := "-"
+		if perQDraws[i] > 0 {
+			warmCell = durMS(perQWarm[i] / time.Duration(perQDraws[i]))
+		}
+		t.Rows = append(t.Rows, []string{
+			rq.Query.String(), durMS(cold[i].lat), fmt.Sprintf("%d", perQDraws[i]), warmCell})
+	}
+
+	snap := srv.Cache().Snapshot()
+	t.Extra = map[string]float64{
+		"workers":        float64(workers),
+		"requests":       float64(len(draws)),
+		"throughput_rps": float64(len(draws)) / wall.Seconds(),
+		"cold_p50_us":    float64(coldP50.Microseconds()),
+		"cold_p95_us":    float64(percentile(coldLats, 0.95).Microseconds()),
+		"cold_p99_us":    float64(percentile(coldLats, 0.99).Microseconds()),
+		"warm_p50_us":    float64(warmP50.Microseconds()),
+		"warm_p95_us":    float64(percentile(warmLats, 0.95).Microseconds()),
+		"warm_p99_us":    float64(percentile(warmLats, 0.99).Microseconds()),
+		"hit_rate":       float64(hits) / float64(len(draws)),
+		"sheds":          float64(sheds),
+		"cache_entries":  float64(snap.Entries),
+	}
+	if warmP50 > 0 {
+		t.Extra["speedup_p50"] = float64(coldP50) / float64(warmP50)
+	}
+	opts.attach(t)
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package plancache
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// epochVal tags a cached value with the epoch and canon of the key it
+// was written under, so readers can detect a stale or cross-key serve.
+type epochVal struct {
+	epoch uint64
+	canon string
+}
+
+// TestEpochInvalidationStress (run with -race): Get/Put/Acquire/Wait
+// traffic from many goroutines races an invalidator that bumps the
+// epoch continuously. The invariant under all interleavings: a hit —
+// whether from Get, an Acquire hit, or a follower adopting a leader's
+// result — only ever returns a value written under the exact epoch and
+// canon of the requesting key. An entry from before an Invalidate must
+// never satisfy a key built after it.
+func TestEpochInvalidationStress(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+		keys     = 32
+		iters    = 5000
+	)
+	c := New[epochVal](capacity)
+
+	stop := make(chan struct{})
+	var inval sync.WaitGroup
+	inval.Add(1)
+	go func() {
+		defer inval.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Invalidate()
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	var stale, served atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				kidx := rng.Intn(keys)
+				canon := fmt.Sprintf("q%d", kidx)
+				// The key is built from the epoch as read now — exactly
+				// the engine's protocol. The invalidator may bump the
+				// epoch at any point after this line.
+				e := c.Epoch()
+				k := Key{Fingerprint: uint64(kidx), Canon: canon, Epoch: e}
+				check := func(v epochVal) {
+					served.Add(1)
+					if v.epoch != e || v.canon != canon {
+						stale.Add(1)
+					}
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if v, ok := c.Get(k); ok {
+						check(v)
+					}
+				case 1:
+					c.Put(k, epochVal{epoch: e, canon: canon})
+				default:
+					a := c.Acquire(k)
+					switch {
+					case a.Hit:
+						check(a.Value)
+					case a.Leader:
+						// Occasionally decline to share, as a degraded
+						// search would.
+						a.Complete(epochVal{epoch: e, canon: canon}, rng.Intn(4) != 0)
+					default:
+						ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+						v, ok, err := a.Wait(ctx)
+						cancel()
+						if err != nil {
+							t.Errorf("follower wait: %v", err)
+						} else if ok {
+							// The flight's key includes the epoch, so the
+							// leader computed under the same e and canon.
+							check(v)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	inval.Wait()
+
+	if got := stale.Load(); got != 0 {
+		t.Fatalf("%d stale or cross-key values served (of %d hits)", got, served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("stress produced no hits at all; the schedule is not exercising the cache")
+	}
+	if n := c.Len(); n > capacity+16 {
+		t.Errorf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	snap := c.Snapshot()
+	if snap.Hits == 0 || snap.Misses == 0 || snap.Puts == 0 {
+		t.Errorf("counters did not move: %+v", snap)
+	}
+}

@@ -16,6 +16,7 @@ package qgen
 
 import (
 	"fmt"
+	"strings"
 
 	"prairie/internal/catalog"
 	"prairie/internal/core"
@@ -34,6 +35,23 @@ const (
 )
 
 func (e ExprKind) String() string { return fmt.Sprintf("E%d", int(e)) }
+
+// ParseKind maps a family name ("E1".."E4", case-insensitive) back to
+// its ExprKind — the inverse of String, used by wire protocols that
+// name query families in requests.
+func ParseKind(s string) (ExprKind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "E1":
+		return E1, nil
+	case "E2":
+		return E2, nil
+	case "E3":
+		return E3, nil
+	case "E4":
+		return E4, nil
+	}
+	return 0, fmt.Errorf("qgen: unknown expression family %q (want E1..E4)", s)
+}
 
 // HasMat reports whether the family materializes an attribute per class.
 func (e ExprKind) HasMat() bool { return e == E2 || e == E4 }

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prairie/internal/core"
+	"prairie/internal/obs"
+)
+
+// slowRegistry returns a registry whose "slow" world blocks in Build
+// until release is closed — each request occupies its admission slot
+// for a controlled duration, which is how these tests fill the server.
+func slowRegistry(t *testing.T) (*Registry, *World, chan struct{}) {
+	t.Helper()
+	reg, err := DefaultRegistry(4, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, _ := reg.Lookup("oodb/volcano")
+	release := make(chan struct{})
+	slow := &World{
+		Name: "slow",
+		RS:   real.RS,
+		MaxN: real.MaxN,
+		Build: func(q QuerySpec) (*core.Expr, *core.Descriptor, error) {
+			<-release
+			return real.Build(q)
+		},
+	}
+	reg.Add(slow)
+	return reg, slow, release
+}
+
+func slowReq() OptimizeRequest {
+	return OptimizeRequest{Ruleset: "slow", Query: QuerySpec{Family: "E1", N: 3}}
+}
+
+// fire posts req in a goroutine and reports the status code on the
+// returned channel.
+func fire(t *testing.T, url string, req OptimizeRequest) chan int {
+	t.Helper()
+	ch := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			ch <- -1
+			return
+		}
+		resp.Body.Close()
+		ch <- resp.StatusCode
+	}()
+	return ch
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionShedding fills every in-flight slot and the whole queue,
+// then asserts: queued requests over the wait deadline shed with 503,
+// requests beyond the queue bound shed immediately with 429, both carry
+// Retry-After, and once the jam clears the server serves normally.
+func TestAdmissionShedding(t *testing.T) {
+	reg, _, release := slowRegistry(t)
+	srv, err := New(Config{
+		Registry:    reg,
+		MaxInflight: 2,
+		MaxQueue:    2,
+		QueueWait:   200 * time.Millisecond,
+		Obs:         &obs.Observer{Metrics: obs.NewRegistry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Fill both slots.
+	running := []chan int{fire(t, hs.URL+"/v1/optimize", slowReq()), fire(t, hs.URL+"/v1/optimize", slowReq())}
+	waitFor(t, "slots to fill", func() bool { return len(srv.sem) == 2 })
+
+	// Fill the queue (these wait up to QueueWait, then 503).
+	queued := []chan int{fire(t, hs.URL+"/v1/optimize", slowReq()), fire(t, hs.URL+"/v1/optimize", slowReq())}
+	waitFor(t, "queue to fill", func() bool { return srv.waiting.Load() == 2 })
+
+	// Beyond the queue: immediate 429 with Retry-After.
+	body, _ := json.Marshal(slowReq())
+	resp, err := http.Post(hs.URL+"/v1/optimize", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-queue request: status %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("429 Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if eb.Error == "" || eb.RetryAfterMS <= 0 {
+		t.Errorf("429 body incomplete: %+v", eb)
+	}
+
+	// The queued requests exceed QueueWait while the jam holds: 503.
+	for i, ch := range queued {
+		if got := <-ch; got != http.StatusServiceUnavailable {
+			t.Errorf("queued request %d: status %d, want 503", i, got)
+		}
+	}
+
+	// Unjam: the running requests complete with real plans.
+	close(release)
+	for i, ch := range running {
+		if got := <-ch; got != http.StatusOK {
+			t.Errorf("running request %d: status %d, want 200", i, got)
+		}
+	}
+
+	// And the server is healthy again.
+	or := optimizeOK(t, hs.URL, OptimizeRequest{Ruleset: "oodb/volcano", Query: QuerySpec{Family: "E1", N: 3}})
+	if or.PlanText == "" {
+		t.Error("post-jam request returned no plan")
+	}
+	if got := srv.mShed429.Value(); got != 1 {
+		t.Errorf("shed-429 counter = %d, want 1", got)
+	}
+	if got := srv.mShed503.Value(); got != 2 {
+		t.Errorf("shed-503 counter = %d, want 2", got)
+	}
+}
+
+// TestGracefulDrainUnderLoad (run with -race in CI): with requests in
+// flight, Drain refuses new work with 503 but answers every admitted
+// request; Drain returns only after the last in-flight response.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	reg, _, release := slowRegistry(t)
+	srv, err := New(Config{Registry: reg, MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	const inflight = 4
+	var chans []chan int
+	for i := 0; i < inflight; i++ {
+		chans = append(chans, fire(t, hs.URL+"/v1/optimize", slowReq()))
+	}
+	waitFor(t, "requests in flight", func() bool { return len(srv.sem) == inflight })
+
+	drained := make(chan error, 1)
+	var drainReturned atomic.Bool
+	go func() {
+		err := srv.Drain(context.Background())
+		drainReturned.Store(true)
+		drained <- err
+	}()
+	waitFor(t, "draining flag", func() bool { return srv.draining.Load() })
+
+	// New work is refused while draining.
+	if got := <-fire(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Ruleset: "oodb/volcano", Query: QuerySpec{Family: "E1", N: 3},
+	}); got != http.StatusServiceUnavailable {
+		t.Errorf("request during drain: status %d, want 503", got)
+	}
+	if drainReturned.Load() {
+		t.Fatal("Drain returned while requests were still in flight")
+	}
+
+	// Release the jam: every in-flight request must be answered 200.
+	close(release)
+	var wg sync.WaitGroup
+	for i, ch := range chans {
+		wg.Add(1)
+		go func(i int, ch chan int) {
+			defer wg.Done()
+			if got := <-ch; got != http.StatusOK {
+				t.Errorf("in-flight request %d during drain: status %d, want 200", i, got)
+			}
+		}(i, ch)
+	}
+	wg.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestDrainDeadline: Drain gives up when its context expires while work
+// is still in flight.
+func TestDrainDeadline(t *testing.T) {
+	reg, _, release := slowRegistry(t)
+	srv, err := New(Config{Registry: reg, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	// Registered after hs.Close so it runs first: Close waits for the
+	// jammed in-flight request, which needs release closed to finish.
+	defer close(release)
+
+	ch := fire(t, hs.URL+"/v1/optimize", slowReq())
+	waitFor(t, "request in flight", func() bool { return len(srv.sem) == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Error("Drain returned nil with a stuck request in flight")
+	}
+	_ = ch
+}
+
+// TestQueueWaitServed: a request that queues briefly and then gets a
+// slot is served normally — queuing is invisible below the deadline.
+func TestQueueWaitServed(t *testing.T) {
+	reg, _, release := slowRegistry(t)
+	srv, err := New(Config{
+		Registry:    reg,
+		MaxInflight: 1,
+		MaxQueue:    4,
+		QueueWait:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	jam := fire(t, hs.URL+"/v1/optimize", slowReq())
+	waitFor(t, "slot filled", func() bool { return len(srv.sem) == 1 })
+	queued := fire(t, hs.URL+"/v1/optimize", OptimizeRequest{
+		Ruleset: "oodb/volcano", Query: QuerySpec{Family: "E1", N: 3},
+	})
+	waitFor(t, "request queued", func() bool { return srv.waiting.Load() == 1 })
+
+	close(release)
+	if got := <-jam; got != http.StatusOK {
+		t.Errorf("jam request: status %d", got)
+	}
+	if got := <-queued; got != http.StatusOK {
+		t.Errorf("queued request: status %d, want 200", got)
+	}
+}

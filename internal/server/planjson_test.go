@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"prairie/internal/volcano"
+)
+
+// optimizeWorld runs a query through a world's optimizer directly and
+// returns the winning access plan.
+func optimizeWorld(t *testing.T, w *World, q QuerySpec) *volcano.PExpr {
+	t.Helper()
+	tree, want, err := w.Build(q)
+	if err != nil {
+		t.Fatalf("%s %s: build: %v", w.Name, q, err)
+	}
+	opt := volcano.NewOptimizer(w.RS)
+	plan, err := opt.OptimizeContext(context.Background(), tree, want)
+	if err != nil {
+		t.Fatalf("%s %s: optimize: %v", w.Name, q, err)
+	}
+	return plan
+}
+
+// TestPlanJSONRoundTrip optimizes queries in every default world,
+// serializes each winning plan through the wire codec, and asserts the
+// decoded operator tree renders byte-identically to the original. The
+// relational E3/E4 queries exercise predicates (selection constants and
+// join terms) and orders; oodb exercises the remaining value kinds.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	reg, err := DefaultRegistry(4, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []QuerySpec{
+		{Family: "E1", N: 3},
+		{Family: "E2", N: 3},
+		{Family: "E3", N: 3},
+		{Family: "E4", N: 3},
+		{Family: "E2", N: 4, Graph: "star"},
+	}
+	for _, name := range reg.Names() {
+		w, _ := reg.Lookup(name)
+		for _, q := range cases {
+			plan := optimizeWorld(t, w, q)
+			ref := plan.ToExpr().Format()
+
+			node, err := EncodePlan(plan)
+			if err != nil {
+				t.Fatalf("%s %s: encode: %v", name, q, err)
+			}
+			raw, err := json.Marshal(node)
+			if err != nil {
+				t.Fatalf("%s %s: marshal: %v", name, q, err)
+			}
+			var back PlanNode
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatalf("%s %s: unmarshal: %v", name, q, err)
+			}
+			decoded, err := DecodePlan(w.RS.Algebra, &back)
+			if err != nil {
+				t.Fatalf("%s %s: decode: %v", name, q, err)
+			}
+			if got := decoded.Format(); got != ref {
+				t.Errorf("%s %s: round-trip mismatch\n--- original\n%s\n--- decoded\n%s", name, q, ref, got)
+			}
+		}
+	}
+}
+
+// TestPlanJSONErrors pins the codec's failure modes: unknown algorithm
+// names, unknown properties, and malformed nodes must error, not panic.
+func TestPlanJSONErrors(t *testing.T) {
+	reg, err := DefaultRegistry(3, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := reg.Lookup("oodb/volcano")
+	alg := w.RS.Algebra
+
+	if _, err := DecodePlan(alg, nil); err == nil {
+		t.Error("nil node: want error")
+	}
+	if _, err := DecodePlan(alg, &PlanNode{}); err == nil {
+		t.Error("node with neither op nor file: want error")
+	}
+	if _, err := DecodePlan(alg, &PlanNode{Op: "NO_SUCH_ALG"}); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+	if _, err := DecodePlan(alg, &PlanNode{
+		File:  "F1",
+		Props: map[string]PropValue{"no_such_prop": {Kind: "int", Num: 1}},
+	}); err == nil {
+		t.Error("unknown property: want error")
+	}
+	if _, err := DecodePlan(alg, &PlanNode{
+		File:  "F1",
+		Props: map[string]PropValue{"num_records": {Kind: "no_such_kind"}},
+	}); err == nil {
+		t.Error("unknown value kind: want error")
+	}
+}

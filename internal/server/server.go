@@ -1,0 +1,694 @@
+// Package server exposes the optimizer as an HTTP/JSON service: a
+// registry of prepared rule sets ("worlds"), per-request budget classes
+// mapped onto volcano.Budget, one cross-query plan cache shared by every
+// request, and the observability surface of internal/obs. Robustness is
+// the point of the package: admission control with a bounded in-flight
+// semaphore and a queue-wait deadline (load is shed with 429/503 +
+// Retry-After, never a partial plan), per-request timeouts propagated
+// through OptimizeContext (over-deadline searches degrade gracefully and
+// say so), panic isolation per request, and graceful shutdown that
+// drains in-flight optimizations before the process exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prairie/internal/obs"
+	"prairie/internal/volcano"
+)
+
+// Config tunes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Registry holds the servable worlds (required).
+	Registry *Registry
+	// CacheSize is the shared plan-cache capacity (entries); 0 = 512,
+	// negative = disabled.
+	CacheSize int
+	// MaxInflight bounds concurrently running optimizations; 0 = 2 ×
+	// GOMAXPROCS. Requests beyond it queue.
+	MaxInflight int
+	// MaxQueue bounds queued (admitted-but-waiting) requests; beyond it
+	// requests are shed immediately with 429. 0 = 4 × MaxInflight.
+	MaxQueue int
+	// QueueWait is how long a queued request may wait for a slot before
+	// being shed with 503. 0 = 250ms.
+	QueueWait time.Duration
+	// DefaultTimeout applies when a request names none; 0 = 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request timeouts; 0 = 30s.
+	MaxTimeout time.Duration
+	// MaxBatchWorkers caps the per-batch worker count; 0 = GOMAXPROCS.
+	MaxBatchWorkers int
+	// MaxBatchItems caps items per batch request; 0 = 256.
+	MaxBatchItems int
+	// Budgets extends (and can override) the built-in budget classes.
+	Budgets map[string]volcano.Budget
+	// Obs attaches metrics/tracing; nil serves /metrics from an empty
+	// registry.
+	Obs *obs.Observer
+}
+
+func (c *Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return 2 * runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.maxInflight()
+}
+
+func (c *Config) queueWait() time.Duration {
+	if c.QueueWait > 0 {
+		return c.QueueWait
+	}
+	return 250 * time.Millisecond
+}
+
+func (c *Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout > 0 {
+		return c.DefaultTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Config) maxTimeout() time.Duration {
+	if c.MaxTimeout > 0 {
+		return c.MaxTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Config) maxBatchWorkers() int {
+	if c.MaxBatchWorkers > 0 {
+		return c.MaxBatchWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) maxBatchItems() int {
+	if c.MaxBatchItems > 0 {
+		return c.MaxBatchItems
+	}
+	return 256
+}
+
+func (c *Config) cacheSize() int {
+	switch {
+	case c.CacheSize > 0:
+		return c.CacheSize
+	case c.CacheSize < 0:
+		return 0
+	}
+	return 512
+}
+
+// defaultBudgets are the built-in budget classes. "default" runs
+// unbounded (modulo the request timeout); "interactive" trades
+// optimality for tail latency; "batch" allows a long search; "tiny" is
+// deliberately small so degraded behaviour is reachable in tests.
+func defaultBudgets() map[string]volcano.Budget {
+	return map[string]volcano.Budget{
+		"default":     {},
+		"interactive": {Timeout: 200 * time.Millisecond, MaxExprs: 200_000},
+		"batch":       {Timeout: 2 * time.Second},
+		"tiny":        {MaxExprs: 400},
+	}
+}
+
+// Server is the optimizer service.
+type Server struct {
+	cfg     Config
+	budgets map[string]volcano.Budget
+	cache   *volcano.PlanCache
+	sem     chan struct{}
+	waiting atomic.Int64
+	// inflightMu guards inflightN: requests past the draining gate, which
+	// Drain waits out. The draining check and the increment happen under
+	// one lock so a request can never slip in after Drain observed zero.
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflightN    int
+	draining     atomic.Bool
+	mux          *http.ServeMux
+
+	// metrics (nil registry → nil metrics, every sink is nil-safe)
+	mRequests  *obs.Counter
+	mShed429   *obs.Counter
+	mShed503   *obs.Counter
+	mErrors    *obs.Counter
+	mPanics    *obs.Counter
+	mDegraded  *obs.Counter
+	mHits      *obs.Counter
+	mDrained   *obs.Counter
+	hLatency   *obs.Histogram
+	hQueueWait *obs.Histogram
+}
+
+// New builds a Server over cfg.Registry.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil || len(cfg.Registry.Names()) == 0 {
+		return nil, errors.New("server: config needs a non-empty Registry")
+	}
+	budgets := defaultBudgets()
+	for name, b := range cfg.Budgets {
+		budgets[name] = b
+	}
+	s := &Server{
+		cfg:     cfg,
+		budgets: budgets,
+		cache:   volcano.NewPlanCache(cfg.cacheSize()),
+		sem:     make(chan struct{}, cfg.maxInflight()),
+	}
+	s.inflightCond = sync.NewCond(&s.inflightMu)
+	if reg := cfg.Obs.MetricsOrNil(); reg != nil {
+		s.mRequests = reg.Counter("prairie_server_requests_total")
+		s.mShed429 = reg.Counter("prairie_server_shed_queue_full_total")
+		s.mShed503 = reg.Counter("prairie_server_shed_queue_wait_total")
+		s.mErrors = reg.Counter("prairie_server_errors_total")
+		s.mPanics = reg.Counter("prairie_server_panics_total")
+		s.mDegraded = reg.Counter("prairie_server_degraded_total")
+		s.mHits = reg.Counter("prairie_server_cache_hits_total")
+		s.mDrained = reg.Counter("prairie_server_drain_refused_total")
+		s.hLatency = reg.Histogram("prairie_server_optimize_seconds", nil)
+		s.hQueueWait = reg.Histogram("prairie_server_queue_wait_seconds", nil)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/optimize", s.guard(s.handleOptimize))
+	s.mux.HandleFunc("/v1/batch", s.guard(s.handleBatch))
+	s.mux.HandleFunc("/v1/rulesets", s.guard(s.handleRulesets))
+	s.mux.HandleFunc("/v1/invalidate", s.guard(s.handleInvalidate))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Observability exposition: delegate to the obs mux so the service
+	// surface and the standalone exposition stay identical.
+	om := obs.NewMux(cfg.Obs.MetricsOrNil(), cfg.Obs.TracerOrNil())
+	for _, p := range []string{"/metrics", "/vars", "/trace", "/debug/pprof/"} {
+		s.mux.Handle(p, om)
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the shared plan cache (tests and the invalidate
+// endpoint).
+func (s *Server) Cache() *volcano.PlanCache { return s.cache }
+
+// BeginDrain gates new work off: subsequent optimize/batch requests are
+// refused with 503 and /healthz reports draining.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain begins draining and blocks until every in-flight request has
+// been answered or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflightMu.Lock()
+		for s.inflightN > 0 {
+			s.inflightCond.Wait()
+		}
+		s.inflightMu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// The waiter goroutine exits once the last request finishes and
+		// broadcasts; nothing holds it beyond that.
+		return ctx.Err()
+	}
+}
+
+// track counts a request into the drain set, refusing when draining.
+// The check and increment share inflightMu so Drain can never observe
+// zero while an admitted request is about to start.
+func (s *Server) track() bool {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+func (s *Server) untrack() {
+	s.inflightMu.Lock()
+	s.inflightN--
+	if s.inflightN == 0 {
+		s.inflightCond.Broadcast()
+	}
+	s.inflightMu.Unlock()
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) shed(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(retryAfter.Seconds()+0.999)))
+	writeJSON(w, code, errorBody{Error: msg, RetryAfterMS: retryAfter.Milliseconds()})
+}
+
+// guard wraps a handler with panic isolation: a panicking request is
+// answered with 500 and counted, and never takes the process down.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.mPanics.Inc()
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: fmt.Sprintf("internal panic: %v", p)})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// admit implements admission control: a free slot is taken immediately;
+// otherwise the request queues, bounded in count by MaxQueue (shed 429)
+// and in time by QueueWait (shed 503). The returned release must be
+// called when the optimization finishes.
+func (s *Server) admit(ctx context.Context) (release func(), code int, err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, nil
+	default:
+	}
+	if n := s.waiting.Add(1); n > int64(s.cfg.maxQueue()) {
+		s.waiting.Add(-1)
+		s.mShed429.Inc()
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d waiting)", n-1)
+	}
+	defer s.waiting.Add(-1)
+	start := time.Now()
+	t := time.NewTimer(s.cfg.queueWait())
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.hQueueWait.Observe(time.Since(start).Seconds())
+		return func() { <-s.sem }, 0, nil
+	case <-t.C:
+		s.mShed503.Inc()
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("no slot within %s", s.cfg.queueWait())
+	case <-ctx.Done():
+		// Client gone; nothing useful to send, but the handler needs a
+		// status. 503 keeps the semantics "not processed".
+		return nil, http.StatusServiceUnavailable, ctx.Err()
+	}
+}
+
+// begin performs the shared request preamble: drain gate + admission.
+// ok=false means the response has been written.
+func (s *Server) begin(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	s.mRequests.Inc()
+	if !s.track() {
+		s.mDrained.Inc()
+		s.shed(w, http.StatusServiceUnavailable, "server draining", time.Second)
+		return nil, false
+	}
+	rel, code, err := s.admit(r.Context())
+	if err != nil {
+		s.untrack()
+		s.shed(w, code, err.Error(), s.cfg.queueWait())
+		return nil, false
+	}
+	return func() {
+		rel()
+		s.untrack()
+	}, true
+}
+
+// OptimizeRequest is the wire request of /v1/optimize.
+type OptimizeRequest struct {
+	Ruleset string    `json:"ruleset"`
+	Query   QuerySpec `json:"query"`
+	// Budget names a budget class ("" = "default").
+	Budget string `json:"budget,omitempty"`
+	// TimeoutMS is the per-request deadline; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludePlan asks for the full serialized plan tree in addition to
+	// the textual rendering.
+	IncludePlan bool `json:"include_plan,omitempty"`
+}
+
+// StatsSummary is the per-request slice of volcano.Stats the service
+// reports.
+type StatsSummary struct {
+	Groups     int `json:"groups"`
+	Exprs      int `json:"exprs"`
+	TransFired int `json:"trans_fired"`
+	ImplFired  int `json:"impl_fired"`
+	CostedPlan int `json:"costed_plans"`
+}
+
+// OptimizeResponse is the wire response of /v1/optimize.
+type OptimizeResponse struct {
+	Ruleset      string       `json:"ruleset"`
+	Query        QuerySpec    `json:"query"`
+	// PlanText is the compact functional rendering
+	// ("Merge_sort(Nested_loops(...))"); IncludePlan adds the full
+	// descriptor-bearing tree.
+	PlanText     string       `json:"plan_text"`
+	Plan         *PlanNode    `json:"plan,omitempty"`
+	Cost         float64      `json:"cost"`
+	Degraded     bool         `json:"degraded,omitempty"`
+	DegradeCause string       `json:"degrade_cause,omitempty"`
+	DegradePath  string       `json:"degrade_path,omitempty"`
+	CacheHit     bool         `json:"cache_hit"`
+	ElapsedUS    int64        `json:"elapsed_us"`
+	Stats        StatsSummary `json:"stats"`
+}
+
+// timeout resolves and clamps the effective request deadline.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.defaultTimeout()
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if max := s.cfg.maxTimeout(); d > max {
+		d = max
+	}
+	return d
+}
+
+// optimizeOne runs one prepared request on a fresh optimizer (the
+// optimizer is single-use; the rule set, cache and observer are the
+// shared state).
+func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequest) (*OptimizeResponse, int, error) {
+	budget, ok := s.budgets[budgetName(req.Budget)]
+	if !ok {
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown budget class %q", req.Budget)
+	}
+	tree, want, err := world.Build(req.Query)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	opt := volcano.NewOptimizer(world.RS)
+	opt.Opts.Budget = budget
+	opt.Opts.Obs = s.cfg.Obs
+	opt.Opts.Cache = s.cache
+	start := time.Now()
+	plan, err := opt.OptimizeContext(ctx, tree, want)
+	elapsed := time.Since(start)
+	s.hLatency.Observe(elapsed.Seconds())
+	if err != nil {
+		// ErrNoPlan / ErrSpaceExhausted: the search failed whole; no
+		// partial plan ever leaves the server.
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	st := opt.Stats
+	resp := &OptimizeResponse{
+		Ruleset:   world.Name,
+		Query:     req.Query,
+		PlanText:  plan.String(),
+		Cost:      plan.Cost(world.RS.Class),
+		Degraded:  st.Degraded,
+		CacheHit:  st.CacheHits > 0 && st.CacheMisses == 0,
+		ElapsedUS: elapsed.Microseconds(),
+		Stats: StatsSummary{
+			Groups:     st.Groups,
+			Exprs:      st.Exprs,
+			TransFired: sumCounts(st.TransFired),
+			ImplFired:  sumCounts(st.ImplFired),
+			CostedPlan: st.CostedPlans,
+		},
+	}
+	if st.Degraded {
+		resp.DegradeCause = st.DegradeCause.String()
+		resp.DegradePath = st.DegradePath
+		s.mDegraded.Inc()
+	}
+	if resp.CacheHit {
+		s.mHits.Inc()
+	}
+	if req.IncludePlan {
+		resp.Plan, err = EncodePlan(plan)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+func sumCounts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func budgetName(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return s
+}
+
+const maxBody = 1 << 20
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	world, ok := s.cfg.Registry.Lookup(req.Ruleset)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown ruleset %q", req.Ruleset)})
+		return
+	}
+	release, ok := s.begin(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	resp, code, err := s.optimizeOne(r.Context(), world, req)
+	if err != nil {
+		s.mErrors.Inc()
+		writeJSON(w, code, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+// BatchRequest is the wire request of /v1/batch: many optimize items
+// answered as one admission unit, fanned over the engine's parallel
+// batch API.
+type BatchRequest struct {
+	Items   []OptimizeRequest `json:"items"`
+	Workers int               `json:"workers,omitempty"`
+}
+
+// BatchItemResponse is one element of a batch answer: either a response
+// or an error, index-aligned with the request items.
+type BatchItemResponse struct {
+	*OptimizeResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire response of /v1/batch.
+type BatchResponse struct {
+	Results  []BatchItemResponse `json:"results"`
+	WallUS   int64               `json:"wall_us"`
+	Workers  int                 `json:"workers"`
+	Errors   int                 `json:"errors"`
+	Degraded int                 `json:"degraded"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	if max := s.cfg.maxBatchItems(); len(req.Items) > max {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("batch of %d items exceeds limit %d", len(req.Items), max)})
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.maxBatchWorkers() {
+		workers = s.cfg.maxBatchWorkers()
+	}
+	// Prepare every item before taking a slot: a malformed item fails
+	// the whole batch up front (cheap), matching the all-or-nothing
+	// admission decision.
+	items := make([]volcano.BatchItem, len(req.Items))
+	worlds := make([]*World, len(req.Items))
+	for i, it := range req.Items {
+		world, ok := s.cfg.Registry.Lookup(it.Ruleset)
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				errorBody{Error: fmt.Sprintf("item %d: unknown ruleset %q", i, it.Ruleset)})
+			return
+		}
+		budget, ok := s.budgets[budgetName(it.Budget)]
+		if !ok {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("item %d: unknown budget class %q", i, it.Budget)})
+			return
+		}
+		tree, want, err := world.Build(it.Query)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("item %d: %v", i, err)})
+			return
+		}
+		worlds[i] = world
+		items[i] = volcano.BatchItem{
+			RS:      world.RS,
+			Tree:    tree,
+			Req:     want,
+			Opts:    volcano.Options{Budget: budget},
+			Timeout: s.timeout(it.TimeoutMS),
+		}
+	}
+	release, ok := s.begin(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	results, _ := volcano.OptimizeBatchOpts(r.Context(), items, volcano.BatchOptions{
+		Workers: workers,
+		Obs:     s.cfg.Obs,
+		Cache:   s.cache,
+	})
+	resp := BatchResponse{
+		Results: make([]BatchItemResponse, len(results)),
+		WallUS:  time.Since(start).Microseconds(),
+		Workers: workers,
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			s.mErrors.Inc()
+			resp.Errors++
+			resp.Results[i] = BatchItemResponse{Error: res.Err.Error()}
+			continue
+		}
+		st := res.Stats
+		item := &OptimizeResponse{
+			Ruleset:   worlds[i].Name,
+			Query:     req.Items[i].Query,
+			PlanText:  res.Plan.String(),
+			Cost:      res.Plan.Cost(worlds[i].RS.Class),
+			Degraded:  st.Degraded,
+			CacheHit:  st.CacheHits > 0 && st.CacheMisses == 0,
+			ElapsedUS: res.Elapsed.Microseconds(),
+			Stats: StatsSummary{
+				Groups:     st.Groups,
+				Exprs:      st.Exprs,
+				TransFired: sumCounts(st.TransFired),
+				ImplFired:  sumCounts(st.ImplFired),
+				CostedPlan: st.CostedPlans,
+			},
+		}
+		if st.Degraded {
+			item.DegradeCause = st.DegradeCause.String()
+			item.DegradePath = st.DegradePath
+			resp.Degraded++
+			s.mDegraded.Inc()
+		}
+		if item.CacheHit {
+			s.mHits.Inc()
+		}
+		if req.Items[i].IncludePlan {
+			if pn, err := EncodePlan(res.Plan); err == nil {
+				item.Plan = pn
+			}
+		}
+		resp.Results[i] = BatchItemResponse{OptimizeResponse: item}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rulesetInfo describes one servable world on /v1/rulesets.
+type rulesetInfo struct {
+	Name    string   `json:"name"`
+	MaxN    int      `json:"max_n"`
+	Budgets []string `json:"budgets"`
+}
+
+func (s *Server) handleRulesets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	budgets := make([]string, 0, len(s.budgets))
+	for name := range s.budgets {
+		budgets = append(budgets, name)
+	}
+	sort.Strings(budgets)
+	var out []rulesetInfo
+	for _, name := range s.cfg.Registry.Names() {
+		world, _ := s.cfg.Registry.Lookup(name)
+		out = append(out, rulesetInfo{Name: name, MaxN: world.MaxN, Budgets: budgets})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rulesets": out})
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	epoch := s.cache.Invalidate()
+	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": epoch})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

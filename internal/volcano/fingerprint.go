@@ -35,6 +35,21 @@ func (rs *RuleSet) fingerprintNode(e *core.Expr) (uint64, string) {
 	return h, b.String()
 }
 
+// Fingerprint exposes the canonical fingerprint for callers outside the
+// cache path — property tests assert its invariants (commutative-input
+// swaps and attribute reorderings must not change it), and services can
+// use it as a stable request identity.
+func (rs *RuleSet) Fingerprint(e *core.Expr) (uint64, string) {
+	return rs.fingerprintNode(e)
+}
+
+// Commutative reports whether op's inputs are canonically sorted by the
+// fingerprint, i.e. whether the rule set carries an unconditional
+// commute rule for op.
+func (rs *RuleSet) Commutative(op *core.Operation) bool {
+	return rs.commutative(op)
+}
+
 func (rs *RuleSet) fingerprintWalk(e *core.Expr, b *strings.Builder) uint64 {
 	if e.IsLeaf() {
 		// Same leaf constant as Memo.selfHash, extended with the

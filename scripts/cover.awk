@@ -1,0 +1,54 @@
+# cover.awk — per-package statement-coverage summary over a merged Go
+# coverprofile, with a total floor. Usage:
+#
+#   awk -v floor=75 -f scripts/cover.awk cover.out
+#
+# Blocks are deduplicated by position keeping the max count, so a
+# profile that mentions the same block twice never double-counts.
+
+NR == 1 { next } # "mode:" line
+
+{
+	block = $1
+	stmts[block] = $2 + 0
+	if ($3 + 0 > hit[block]) hit[block] = $3 + 0
+}
+
+END {
+	for (b in stmts) {
+		file = b
+		sub(/:.*/, "", file)
+		pkg = file
+		sub(/\/[^\/]*$/, "", pkg)
+		s = stmts[b]
+		tot[pkg] += s
+		T += s
+		if (hit[b] > 0) {
+			cov[pkg] += s
+			C += s
+		}
+	}
+	n = 0
+	for (p in tot) pkgs[n++] = p
+	for (i = 1; i < n; i++) {
+		v = pkgs[i]
+		for (j = i - 1; j >= 0 && pkgs[j] > v; j--) pkgs[j + 1] = pkgs[j]
+		pkgs[j + 1] = v
+	}
+	printf "%-44s %8s %8s %7s\n", "package", "stmts", "covered", "pct"
+	for (i = 0; i < n; i++) {
+		p = pkgs[i]
+		printf "%-44s %8d %8d %6.1f%%\n", p, tot[p], cov[p], 100 * cov[p] / tot[p]
+	}
+	if (T == 0) {
+		print "cover: FAIL empty profile"
+		exit 1
+	}
+	pct = 100 * C / T
+	printf "%-44s %8d %8d %6.1f%%\n", "TOTAL", T, C, pct
+	if (pct + 0 < floor + 0) {
+		printf "cover: FAIL total %.1f%% below floor %s%%\n", pct, floor
+		exit 1
+	}
+	printf "cover: OK total %.1f%% >= floor %s%%\n", pct, floor
+}
