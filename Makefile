@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-guard cache-guard bench-json bench-serve fuzz-smoke cover ci experiments clean
+.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard bench-json bench-serve bench-tier fuzz-smoke cover ci experiments clean
 
 all: ci
 
@@ -28,16 +28,23 @@ bench-smoke:
 # absent ("off") and attached-but-disabled ("disabled"), and fail if the
 # disabled path costs more than GUARD_PCT percent — the feature must be
 # free when nobody is using it. The fully enabled path ("on") is
-# reported informationally. Each mode is timed BENCH_COUNT times and the
-# minimum ns/op compared, which filters scheduler noise (the comparison
-# lives in scripts/guard.awk, shared by both guards).
+# reported informationally. The whole off/disabled/on pass is repeated
+# BENCH_COUNT times and the minimum ns/op per mode compared (the
+# comparison lives in scripts/guard.awk, shared by all guards). The
+# repetition is a shell loop rather than `-count` on purpose: -count
+# runs all samples of one mode back to back, so slow machine-throughput
+# drift reads as systematic mode overhead; interleaving whole passes
+# puts each mode's minimum in comparable conditions.
 GUARD_PCT ?= 2
 BENCH_COUNT ?= 5
 
 # Observability overhead guard: instrumentation with every sink disabled
 # must be indistinguishable from no instrumentation at all.
 bench-guard:
-	@$(GO) test -run 'XXX' -bench 'ObsGuard' -benchtime 200x -count $(BENCH_COUNT) . | tee /tmp/obsguard.txt
+	@rm -f /tmp/obsguard.txt
+	@for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test -run 'XXX' -bench 'ObsGuard' -benchtime 200x . | tee -a /tmp/obsguard.txt || exit 1; \
+	done
 	@awk -v pct=$(GUARD_PCT) -v guard=bench-guard -f scripts/guard.awk /tmp/obsguard.txt
 
 # Plan-cache neutrality guard: a zero-capacity cache handle must be
@@ -45,8 +52,23 @@ bench-guard:
 # and the concurrent cache layers must be race-clean.
 cache-guard:
 	$(GO) test -race -timeout 300s ./internal/plancache ./internal/volcano
-	@$(GO) test -run 'XXX' -bench 'CacheGuard' -benchtime 100x -count $(BENCH_COUNT) . | tee /tmp/cacheguard.txt
+	@rm -f /tmp/cacheguard.txt
+	@for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test -run 'XXX' -bench 'CacheGuard' -benchtime 100x . | tee -a /tmp/cacheguard.txt || exit 1; \
+	done
 	@awk -v pct=$(GUARD_PCT) -v guard=cache-guard -f scripts/guard.awk /tmp/cacheguard.txt
+
+# Tiered-planner neutrality guard: an attached-but-unused router with
+# the tier left at the default (full) must be byte- and cost-identical
+# to today's single-tier behavior — TestTierNeutral checks the bytes,
+# the TierGuard benchmark checks the cost.
+tier-guard:
+	$(GO) test -run 'TestTierNeutral' -timeout 120s ./internal/volcano
+	@rm -f /tmp/tierguard.txt
+	@for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test -run 'XXX' -bench 'TierGuard' -benchtime 100x . | tee -a /tmp/tierguard.txt || exit 1; \
+	done
+	@awk -v pct=$(GUARD_PCT) -v guard=tier-guard -f scripts/guard.awk /tmp/tierguard.txt
 
 # Archive the repeat-workload plan-cache benchmark (cold vs warm ns/op,
 # full-hit speedup, hit rate, warm-start pruning, allocs) for diffing
@@ -60,6 +82,12 @@ bench-json: build
 bench-serve: build
 	$(GO) run ./cmd/optbench -experiment serve -json > BENCH_serve.json
 	@echo "bench-serve: wrote BENCH_serve.json"
+
+# Archive the tiered-planner benchmark (first-plan latency per tier,
+# refinement win rate, router routing mix) for diffing across revisions.
+bench-tier: build
+	$(GO) run ./cmd/optbench -experiment tier -json > BENCH_tier.json
+	@echo "bench-tier: wrote BENCH_tier.json"
 
 # Fuzz smoke: both fuzz targets for FUZZTIME each. FuzzParse drives the
 # rule-language front end (parse -> format -> parse fixed point);
@@ -80,7 +108,7 @@ cover:
 	$(GO) test -timeout 600s -coverprofile=cover.out ./...
 	@awk -v floor=$(COVER_FLOOR) -f scripts/cover.awk cover.out
 
-ci: vet build race bench-smoke cache-guard fuzz-smoke cover
+ci: vet build race bench-smoke cache-guard tier-guard fuzz-smoke cover
 
 # Regenerate every paper table/figure (sequential, paper-faithful timing).
 experiments: build

@@ -265,3 +265,54 @@ func BenchmarkStrategyAblation(b *testing.B) {
 		}
 	})
 }
+
+// benchOptimizeTier is benchOptimizeCache with a router and tier mode
+// attached — the tiered-planner guard's workhorse.
+func benchOptimizeTier(b *testing.B, w *benchWorld, pc *volcano.PlanCache, rt *volcano.Router, tier volcano.TierMode) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := volcano.NewOptimizer(w.pvrs)
+		opt.Opts.Cache = pc
+		opt.Opts.Router = rt
+		opt.Opts.Tier = tier
+		if _, err := opt.Optimize(w.ptree.Clone(), w.preq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rt.Wait() // drain background refiners before the next mode runs
+}
+
+// BenchmarkTierGuard backs `make tier-guard`: full searches with the
+// tier router absent ("off"), attached with the tier left at the
+// default full mode ("disabled" — dispatch must shortcut past the
+// tiered path, so this must be indistinguishable from off), and in
+// auto mode ("on" — router-directed planning with both costs measured,
+// reported informationally). The guard target fails the build if
+// disabled drifts more than ~2% from off. All modes run cacheless so
+// every iteration does identical deterministic work — a cached mix
+// would be dominated by its one cold miss, a single noisy sample the
+// min-of-count comparison cannot smooth (same reasoning as
+// BenchmarkCacheGuard's off mode).
+func BenchmarkTierGuard(b *testing.B) {
+	for _, wl := range []struct {
+		name string
+		e    qgen.ExprKind
+		n    int
+	}{
+		{"fig11", qgen.E2, 4},
+		{"fig13", qgen.E4, 3},
+	} {
+		w := prepOODB(b, wl.e, wl.n, false)
+		b.Run(wl.name+"/off", func(b *testing.B) {
+			benchOptimizeTier(b, w, nil, nil, volcano.TierFull)
+		})
+		b.Run(wl.name+"/disabled", func(b *testing.B) {
+			benchOptimizeTier(b, w, nil, volcano.NewRouter(volcano.RouterConfig{}), volcano.TierFull)
+		})
+		b.Run(wl.name+"/on", func(b *testing.B) {
+			benchOptimizeTier(b, w, nil, volcano.NewRouter(volcano.RouterConfig{}), volcano.TierAuto)
+		})
+	}
+}

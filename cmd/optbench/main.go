@@ -23,6 +23,10 @@
 //
 //	optbench -experiment serve -json > BENCH_serve.json  # in-process optserve under a 4-worker HTTP load
 //	optbench -experiment serve -workers 8 -draws 1000
+//
+// Tiered anytime planner (see internal/volcano tier.go and DESIGN.md §4.13):
+//
+//	optbench -experiment tier -json > BENCH_tier.json  # first-plan latency per tier, refinement win rate
 //	optbench -experiment fig12 -repeats 10 -cache             # figure sweep with repeats served from the cache
 //
 // Observability (see internal/obs):
@@ -47,7 +51,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, all")
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, all")
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
@@ -163,6 +167,7 @@ func main() {
 		"star":   func() { emit(experiments.StarGraphs(opts)) },
 		"repeat": func() { emit(experiments.RepeatWorkload(opts)) },
 		"serve":  func() { emit(experiments.ServeLoad(opts)) },
+		"tier":   func() { emit(experiments.TierBench(opts)) },
 	}
 	if *which == "all" {
 		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"prairie/internal/obs"
+	"prairie/internal/qgen"
+	"prairie/internal/server"
+)
+
+// This file benchmarks the tiered anytime planner (volcano/tier.go)
+// through the real HTTP service, the same way serve.go benchmarks the
+// cache: an in-process optserve driven by real keep-alive clients. The
+// resulting table backs `make bench-tier` (BENCH_tier.json); its Extra
+// metrics are the acceptance numbers: greedy-tier first-plan p50 under
+// 1ms, zero refined plans differing from a cold full optimization, and
+// the auto router's routing mix after convergence.
+
+// tierSample is one measured tiered request.
+type tierSample struct {
+	lat        time.Duration
+	hit        bool
+	tier       string
+	refined    bool
+	cost       float64
+	greedyCost float64
+	fullCost   float64
+	planTxt    string
+	err        error
+}
+
+// tierClient posts one optimize request and decodes the tier-bearing
+// response fields (serveClient's richer sibling).
+func tierClient(c *http.Client, url string, req server.OptimizeRequest) tierSample {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return tierSample{err: err}
+	}
+	start := time.Now()
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		return tierSample{lat: lat, err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return tierSample{lat: lat, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return tierSample{lat: lat, err: fmt.Errorf("status %d: %s", resp.StatusCode, raw)}
+	}
+	var or server.OptimizeResponse
+	if err := json.Unmarshal(raw, &or); err != nil {
+		return tierSample{lat: lat, err: err}
+	}
+	return tierSample{
+		lat:        lat,
+		hit:        or.CacheHit,
+		tier:       or.PlannerTier,
+		refined:    or.Refined,
+		cost:       or.Cost,
+		greedyCost: or.GreedyCost,
+		fullCost:   or.FullCost,
+		planTxt:    or.PlanText,
+	}
+}
+
+// TierBench measures the tiered planner end to end:
+//
+//  1. full-tier cold rounds (invalidation between rounds) establish the
+//     classic first-plan latency and the reference plans;
+//  2. greedy-tier cold rounds measure the fast path's first-plan
+//     latency — the sub-millisecond answer a miss serves immediately;
+//  3. an auto phase verifies the anytime contract: the first auto
+//     answer is the greedy tier, background refinement is awaited via
+//     the router, and the refined entry's plan must be byte-identical
+//     to the cold full reference;
+//  4. convergence rounds replay the pool under tier=auto so the router
+//     learns which shapes benefit from refinement; the final routing
+//     mix and refinement win rate are reported.
+func TierBench(opts Options) (*Table, error) {
+	const maxN = 6
+	const coldRounds = 5
+	seed := opts.seeds()[0]
+	reg, err := server.DefaultRegistry(maxN, seed, "")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Registry:  reg,
+		CacheSize: opts.cacheSize(),
+		Obs:       opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, closer, err := obs.Serve("127.0.0.1:0", srv.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = closer() }()
+	optimizeURL := "http://" + addr + "/v1/optimize"
+	invalidateURL := "http://" + addr + "/v1/invalidate"
+
+	// The serve experiment's pool: chain prefixes over one catalog.
+	pool := []struct {
+		e      qgen.ExprKind
+		lo, hi int
+	}{
+		{qgen.E1, 4, maxN},
+		{qgen.E2, 3, 5},
+		{qgen.E3, 3, 4},
+	}
+	var reqs []server.OptimizeRequest
+	for _, p := range pool {
+		for n := p.lo; n <= p.hi; n++ {
+			reqs = append(reqs, server.OptimizeRequest{
+				Ruleset: "oodb/prairie",
+				Query:   server.QuerySpec{Family: p.e.String(), N: n},
+			})
+		}
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 2},
+		Timeout:   30 * time.Second,
+	}
+	invalidate := func() error {
+		resp, err := client.Post(invalidateURL, "application/json", nil)
+		if err != nil {
+			return fmt.Errorf("experiments: tier invalidate: %w", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: tier invalidate: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	withTier := func(rq server.OptimizeRequest, tier string) server.OptimizeRequest {
+		rq.Tier = tier
+		return rq
+	}
+
+	// Phase 1: full-tier cold rounds. Round 1 records the reference
+	// plans every later phase is checked against.
+	fullLats := make([]time.Duration, 0, coldRounds*len(reqs))
+	fullFirst := make([]tierSample, len(reqs))
+	refs := make([]string, len(reqs))
+	for round := 0; round < coldRounds; round++ {
+		if round > 0 {
+			if err := invalidate(); err != nil {
+				return nil, err
+			}
+		}
+		for i, rq := range reqs {
+			s := tierClient(client, optimizeURL, withTier(rq, "full"))
+			if s.err != nil {
+				return nil, fmt.Errorf("experiments: tier full %s: %w", rq.Query, s.err)
+			}
+			if s.hit {
+				return nil, fmt.Errorf("experiments: tier full %s: unexpected cache hit after invalidation", rq.Query)
+			}
+			fullLats = append(fullLats, s.lat)
+			if round == 0 {
+				fullFirst[i] = s
+				refs[i] = s.planTxt
+			} else if s.planTxt != refs[i] {
+				return nil, fmt.Errorf("experiments: tier full %s: round %d plan differs from round 1", rq.Query, round+1)
+			}
+		}
+	}
+
+	// Phase 2: greedy-tier cold rounds — the anytime fast path.
+	greedyLats := make([]time.Duration, 0, coldRounds*len(reqs))
+	greedyFirst := make([]tierSample, len(reqs))
+	greedyMatchesFull := 0
+	for round := 0; round < coldRounds; round++ {
+		if err := invalidate(); err != nil {
+			return nil, err
+		}
+		for i, rq := range reqs {
+			s := tierClient(client, optimizeURL, withTier(rq, "greedy"))
+			if s.err != nil {
+				return nil, fmt.Errorf("experiments: tier greedy %s: %w", rq.Query, s.err)
+			}
+			if s.tier != "greedy" {
+				return nil, fmt.Errorf("experiments: tier greedy %s: served tier %q", rq.Query, s.tier)
+			}
+			greedyLats = append(greedyLats, s.lat)
+			if round == 0 {
+				greedyFirst[i] = s
+				if s.planTxt == refs[i] {
+					greedyMatchesFull++
+				}
+			}
+		}
+	}
+
+	// Phase 3: the anytime contract under tier=auto. Fresh epoch; the
+	// first answer must be the greedy tier; after the background
+	// refinement lands, the served plan must be byte-identical to the
+	// cold full reference.
+	if err := invalidate(); err != nil {
+		return nil, err
+	}
+	autoFirst := make([]tierSample, len(reqs))
+	for i, rq := range reqs {
+		s := tierClient(client, optimizeURL, withTier(rq, "auto"))
+		if s.err != nil {
+			return nil, fmt.Errorf("experiments: tier auto %s: %w", rq.Query, s.err)
+		}
+		if s.tier != "greedy" {
+			return nil, fmt.Errorf("experiments: tier auto %s: first answer came from tier %q, want greedy", rq.Query, s.tier)
+		}
+		autoFirst[i] = s
+	}
+	srv.Router().Wait()
+	refinedMismatches := 0
+	refinedServed := 0
+	for i, rq := range reqs {
+		s := tierClient(client, optimizeURL, withTier(rq, "auto"))
+		if s.err != nil {
+			return nil, fmt.Errorf("experiments: tier auto refined %s: %w", rq.Query, s.err)
+		}
+		if !s.hit {
+			return nil, fmt.Errorf("experiments: tier auto refined %s: expected a cache hit", rq.Query)
+		}
+		if s.refined {
+			refinedServed++
+			if s.planTxt != refs[i] {
+				refinedMismatches++
+			}
+		}
+	}
+	if refinedMismatches > 0 {
+		return nil, fmt.Errorf("experiments: tier: %d refined plans differ from their cold full reference", refinedMismatches)
+	}
+
+	// Phase 4: routing convergence — replay the pool under tier=auto
+	// across fresh epochs until the router has enough samples per shape
+	// class to stop refining no-benefit shapes.
+	const convergeRounds = 6
+	for round := 0; round < convergeRounds; round++ {
+		if err := invalidate(); err != nil {
+			return nil, err
+		}
+		for _, rq := range reqs {
+			s := tierClient(client, optimizeURL, withTier(rq, "auto"))
+			if s.err != nil {
+				return nil, fmt.Errorf("experiments: tier converge %s: %w", rq.Query, s.err)
+			}
+		}
+		srv.Router().Wait()
+	}
+	rs := srv.Router().Snapshot()
+
+	sortDur(fullLats)
+	sortDur(greedyLats)
+	fullP50 := percentile(fullLats, 0.50)
+	greedyP50 := percentile(greedyLats, 0.50)
+
+	t := &Table{
+		Title: fmt.Sprintf("Tiered planner: first-plan latency per tier over %d queries (HTTP, %d cold rounds)",
+			len(reqs), coldRounds),
+		Header: []string{"query", "full_ms", "greedy_ms", "auto_first_ms", "greedy_cost", "full_cost"},
+		Notes: []string{
+			"cold first-plan latency measured client-side over keep-alive HTTP; invalidation between rounds",
+			"auto tier answers greedy-first; refined cache entries verified byte-identical to the cold full plan",
+			fmt.Sprintf("router mix after %d convergence rounds: %d refine, %d greedy-only routes",
+				convergeRounds, rs.RoutedRefine, rs.RoutedGreedy),
+		},
+	}
+	for i, rq := range reqs {
+		t.Rows = append(t.Rows, []string{
+			rq.Query.String(),
+			durMS(fullFirst[i].lat),
+			durMS(greedyFirst[i].lat),
+			durMS(autoFirst[i].lat),
+			fmt.Sprintf("%.1f", greedyFirst[i].cost),
+			fmt.Sprintf("%.1f", fullFirst[i].cost),
+		})
+	}
+
+	winRate := 0.0
+	if rs.Refined > 0 {
+		winRate = float64(rs.RefineWins) / float64(rs.Refined)
+	}
+	t.Extra = map[string]float64{
+		"queries":             float64(len(reqs)),
+		"cold_rounds":         float64(coldRounds),
+		"full_p50_us":         float64(fullP50.Microseconds()),
+		"full_p99_us":         float64(percentile(fullLats, 0.99).Microseconds()),
+		"greedy_p50_us":       float64(greedyP50.Microseconds()),
+		"greedy_p99_us":       float64(percentile(greedyLats, 0.99).Microseconds()),
+		"greedy_matches_full": float64(greedyMatchesFull),
+		"refined_served":      float64(refinedServed),
+		"refined_mismatches":  float64(refinedMismatches),
+		"refines_done":        float64(rs.Refined),
+		"refine_wins":         float64(rs.RefineWins),
+		"refine_win_rate":     winRate,
+		"routed_refine":       float64(rs.RoutedRefine),
+		"routed_greedy":       float64(rs.RoutedGreedy),
+		"router_classes":      float64(rs.Classes),
+	}
+	if greedyP50 > 0 {
+		t.Extra["speedup_p50"] = float64(fullP50) / float64(greedyP50)
+	}
+	opts.attach(t)
+	return t, nil
+}
+
+func sortDur(d []time.Duration) {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+}

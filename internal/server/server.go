@@ -53,6 +53,10 @@ type Config struct {
 	MaxBatchItems int
 	// Budgets extends (and can override) the built-in budget classes.
 	Budgets map[string]volcano.Budget
+	// Router tunes the adaptive tier router behind `"tier": "auto"`
+	// requests (see volcano.RouterConfig); the zero value selects the
+	// engine defaults.
+	Router volcano.RouterConfig
 	// Obs attaches metrics/tracing; nil serves /metrics from an empty
 	// registry.
 	Obs *obs.Observer
@@ -135,6 +139,7 @@ type Server struct {
 	cfg     Config
 	budgets map[string]volcano.Budget
 	cache   *volcano.PlanCache
+	router  *volcano.Router
 	sem     chan struct{}
 	waiting atomic.Int64
 	// inflightMu guards inflightN: requests past the draining gate, which
@@ -172,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		budgets: budgets,
 		cache:   volcano.NewPlanCache(cfg.cacheSize()),
+		router:  volcano.NewRouterObserved(cfg.Router, cfg.Obs.MetricsOrNil()),
 		sem:     make(chan struct{}, cfg.maxInflight()),
 	}
 	s.inflightCond = sync.NewCond(&s.inflightMu)
@@ -208,6 +214,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Cache exposes the shared plan cache (tests and the invalidate
 // endpoint).
 func (s *Server) Cache() *volcano.PlanCache { return s.cache }
+
+// Router exposes the shared tier router: tests and benches use its
+// Wait/Snapshot to synchronize with background refinements and read
+// the routing mix. In-flight refiners are deliberately not drained by
+// Drain — they only ever improve the in-memory cache, so process exit
+// may simply abandon them.
+func (s *Server) Router() *volcano.Router { return s.router }
 
 // BeginDrain gates new work off: subsequent optimize/batch requests are
 // refused with 503 and /healthz reports draining.
@@ -352,6 +365,12 @@ type OptimizeRequest struct {
 	Query   QuerySpec `json:"query"`
 	// Budget names a budget class ("" = "default").
 	Budget string `json:"budget,omitempty"`
+	// Tier selects the planning tier: "full" (the default) runs the
+	// complete branch-and-bound search; "greedy" answers with the
+	// sub-millisecond greedy plan and never refines; "auto" answers
+	// greedy-first and lets the adaptive router decide whether to
+	// refine the cache entry with a background full search.
+	Tier string `json:"tier,omitempty"`
 	// TimeoutMS is the per-request deadline; 0 uses the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// IncludePlan asks for the full serialized plan tree in addition to
@@ -371,20 +390,29 @@ type StatsSummary struct {
 
 // OptimizeResponse is the wire response of /v1/optimize.
 type OptimizeResponse struct {
-	Ruleset      string       `json:"ruleset"`
-	Query        QuerySpec    `json:"query"`
+	Ruleset string    `json:"ruleset"`
+	Query   QuerySpec `json:"query"`
 	// PlanText is the compact functional rendering
 	// ("Merge_sort(Nested_loops(...))"); IncludePlan adds the full
 	// descriptor-bearing tree.
-	PlanText     string       `json:"plan_text"`
-	Plan         *PlanNode    `json:"plan,omitempty"`
-	Cost         float64      `json:"cost"`
-	Degraded     bool         `json:"degraded,omitempty"`
-	DegradeCause string       `json:"degrade_cause,omitempty"`
-	DegradePath  string       `json:"degrade_path,omitempty"`
-	CacheHit     bool         `json:"cache_hit"`
-	ElapsedUS    int64        `json:"elapsed_us"`
-	Stats        StatsSummary `json:"stats"`
+	PlanText     string    `json:"plan_text"`
+	Plan         *PlanNode `json:"plan,omitempty"`
+	Cost         float64   `json:"cost"`
+	Degraded     bool      `json:"degraded,omitempty"`
+	DegradeCause string    `json:"degrade_cause,omitempty"`
+	DegradePath  string    `json:"degrade_path,omitempty"`
+	CacheHit     bool      `json:"cache_hit"`
+	// PlannerTier reports which tier produced the plan ("full" or
+	// "greedy"); Refined marks plans served from a cache entry
+	// hot-swapped in by a background refinement. GreedyCost/FullCost
+	// carry the measured cost pair when both are known (refined entries
+	// and auto-routed synchronous runs).
+	PlannerTier string       `json:"planner_tier"`
+	Refined     bool         `json:"refined,omitempty"`
+	GreedyCost  float64      `json:"greedy_cost,omitempty"`
+	FullCost    float64      `json:"full_cost,omitempty"`
+	ElapsedUS   int64        `json:"elapsed_us"`
+	Stats       StatsSummary `json:"stats"`
 }
 
 // timeout resolves and clamps the effective request deadline.
@@ -407,6 +435,10 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 	if !ok {
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown budget class %q", req.Budget)
 	}
+	tier, err := volcano.ParseTier(req.Tier)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
 	tree, want, err := world.Build(req.Query)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -418,24 +450,48 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 	opt.Opts.Budget = budget
 	opt.Opts.Obs = s.cfg.Obs
 	opt.Opts.Cache = s.cache
+	opt.Opts.Tier = tier
+	opt.Opts.Router = s.router
 	start := time.Now()
 	plan, err := opt.OptimizeContext(ctx, tree, want)
 	elapsed := time.Since(start)
 	s.hLatency.Observe(elapsed.Seconds())
 	if err != nil {
-		// ErrNoPlan / ErrSpaceExhausted: the search failed whole; no
-		// partial plan ever leaves the server.
+		// ErrNoPlan / ErrSpaceExhausted / ErrGreedyNoPlan: the search
+		// failed whole; no partial plan ever leaves the server.
 		return nil, http.StatusUnprocessableEntity, err
 	}
-	st := opt.Stats
+	resp := s.buildResponse(world, req.Query, plan, opt.Stats, elapsed.Microseconds())
+	if req.IncludePlan {
+		resp.Plan, err = EncodePlan(plan)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+// buildResponse renders one optimization outcome as its wire response;
+// /v1/optimize and /v1/batch share it so the degradation and tier
+// surfaces stay consistent, and the per-outcome server metrics
+// (degraded, cache hits) are counted exactly once here.
+func (s *Server) buildResponse(world *World, q QuerySpec, plan *volcano.PExpr, st *volcano.Stats, elapsedUS int64) *OptimizeResponse {
+	tier := st.Tier
+	if tier == "" {
+		tier = volcano.TierFull.String()
+	}
 	resp := &OptimizeResponse{
-		Ruleset:   world.Name,
-		Query:     req.Query,
-		PlanText:  plan.String(),
-		Cost:      plan.Cost(world.RS.Class),
-		Degraded:  st.Degraded,
-		CacheHit:  st.CacheHits > 0 && st.CacheMisses == 0,
-		ElapsedUS: elapsed.Microseconds(),
+		Ruleset:     world.Name,
+		Query:       q,
+		PlanText:    plan.String(),
+		Cost:        plan.Cost(world.RS.Class),
+		Degraded:    st.Degraded,
+		CacheHit:    st.CacheHits > 0 && st.CacheMisses == 0,
+		PlannerTier: tier,
+		Refined:     st.Refined,
+		GreedyCost:  st.GreedyCost,
+		FullCost:    st.FullCost,
+		ElapsedUS:   elapsedUS,
 		Stats: StatsSummary{
 			Groups:     st.Groups,
 			Exprs:      st.Exprs,
@@ -452,13 +508,7 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 	if resp.CacheHit {
 		s.mHits.Inc()
 	}
-	if req.IncludePlan {
-		resp.Plan, err = EncodePlan(plan)
-		if err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-	}
-	return resp, http.StatusOK, nil
+	return resp
 }
 
 func sumCounts(m map[string]int) int {
@@ -576,6 +626,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				errorBody{Error: fmt.Sprintf("item %d: unknown budget class %q", i, it.Budget)})
 			return
 		}
+		tier, err := volcano.ParseTier(it.Tier)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("item %d: %v", i, err)})
+			return
+		}
 		tree, want, err := world.Build(it.Query)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest,
@@ -587,7 +643,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			RS:      world.RS,
 			Tree:    tree,
 			Req:     want,
-			Opts:    volcano.Options{Budget: budget},
+			Opts:    volcano.Options{Budget: budget, Tier: tier},
 			Timeout: s.timeout(it.TimeoutMS),
 		}
 	}
@@ -602,6 +658,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Workers: workers,
 		Obs:     s.cfg.Obs,
 		Cache:   s.cache,
+		Router:  s.router,
 	})
 	resp := BatchResponse{
 		Results: make([]BatchItemResponse, len(results)),
@@ -615,31 +672,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = BatchItemResponse{Error: res.Err.Error()}
 			continue
 		}
-		st := res.Stats
-		item := &OptimizeResponse{
-			Ruleset:   worlds[i].Name,
-			Query:     req.Items[i].Query,
-			PlanText:  res.Plan.String(),
-			Cost:      res.Plan.Cost(worlds[i].RS.Class),
-			Degraded:  st.Degraded,
-			CacheHit:  st.CacheHits > 0 && st.CacheMisses == 0,
-			ElapsedUS: res.Elapsed.Microseconds(),
-			Stats: StatsSummary{
-				Groups:     st.Groups,
-				Exprs:      st.Exprs,
-				TransFired: sumCounts(st.TransFired),
-				ImplFired:  sumCounts(st.ImplFired),
-				CostedPlan: st.CostedPlans,
-			},
-		}
-		if st.Degraded {
-			item.DegradeCause = st.DegradeCause.String()
-			item.DegradePath = st.DegradePath
+		item := s.buildResponse(worlds[i], req.Items[i].Query, res.Plan, res.Stats, res.Elapsed.Microseconds())
+		if item.Degraded {
 			resp.Degraded++
-			s.mDegraded.Inc()
-		}
-		if item.CacheHit {
-			s.mHits.Inc()
 		}
 		if req.Items[i].IncludePlan {
 			if pn, err := EncodePlan(res.Plan); err == nil {

@@ -52,13 +52,17 @@ func (o *BottomUp) Optimize(tree *core.Expr, req *core.Descriptor) (*PExpr, erro
 	return o.plan(tree, req, true)
 }
 
-// GreedyPlan is the cheap baseline the budgeted search degrades to: it
-// plans tree without any exploration. The memo holds exactly the
-// query's own operator tree (no transformation rule ever fires), and
-// winners are computed bottom-up over that single shape — discovery and
-// dynamic programming as usual, minus phase 0. Cost is linear-ish in
-// the tree size, so it always terminates quickly and, whenever the
-// original shape is implementable under req, always returns a plan.
+// GreedyPlan is the cheap baseline the budgeted search degrades to and
+// the fast path of the tiered anytime planner (see tier.go): it plans
+// tree without any exploration. The memo holds exactly the query's own
+// operator tree (no transformation rule ever fires), and winners are
+// computed bottom-up over that single shape — discovery and dynamic
+// programming as usual, minus phase 0. Cost is linear-ish in the tree
+// size, so it always terminates quickly and, whenever the original
+// shape is implementable under req, always returns a plan; when it is
+// not, the typed ErrGreedyNoPlan is returned (never a nil plan with a
+// nil error), so callers can distinguish "greedy cannot cover this
+// shape" from a failed search.
 func GreedyPlan(rs *RuleSet, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
 	return greedyPlan(rs, tree, req, NewStats())
 }
@@ -107,6 +111,11 @@ func (o *BottomUp) plan(tree *core.Expr, req *core.Descriptor, explore bool) (*P
 		return nil, err
 	}
 	if plan == nil {
+		if !explore {
+			// Without exploration the only candidate shape was the
+			// original tree; no implementation rule covered it.
+			return nil, ErrGreedyNoPlan
+		}
 		return nil, ErrNoPlan
 	}
 	return plan, nil

@@ -89,6 +89,15 @@ type cachedPlan struct {
 	exprs     int
 	merges    int
 	memoBytes int64
+	// Tier provenance (zero values describe a classic full-search
+	// entry, so untiered callers are unaffected): tier says which
+	// planner produced the plan, refined marks entries hot-swapped in
+	// by a background refinement, and greedyCost preserves the replaced
+	// greedy plan's cost on refined entries (cost is then the full
+	// plan's), so hits can report the measured greedy-vs-full delta.
+	tier       TierMode
+	refined    bool
+	greedyCost float64
 }
 
 // cacheSeed is one warm-start candidate: a proper subtree of the query,
@@ -149,23 +158,41 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 		req = core.NewDescriptor(o.RS.Algebra.Props)
 	}
 	pc := o.Opts.Cache
-	a := pc.c.Acquire(o.rootKey(tree, req))
+	key := o.rootKey(tree, req)
+	// A full-search request must not adopt a greedy fast-path entry:
+	// the predicate turns such an entry into a miss for this caller
+	// while anytime requests keep hitting it, and the completed search
+	// below upgrades the entry in place.
+	a := pc.c.AcquireIf(key, func(cp cachedPlan) bool { return cp.tier == TierFull })
 	if a.Hit {
 		o.Stats.CacheHits++
 		return o.cacheHit(a.Value), nil
 	}
 	if !a.Leader {
 		o.Stats.FlightWaits++
-		if cp, ok, err := a.Wait(ctx); err == nil && ok {
+		if cp, ok, err := a.Wait(ctx); err == nil && ok && cp.tier == TierFull {
 			o.Stats.FlightShared++
 			o.Stats.CacheHits++
 			return o.cacheHit(cp), nil
 		}
-		// Leader declined to share, or our wait was cancelled: run an
-		// independent search (a cancelled context degrades it per
-		// OptimizeContext semantics).
+		// Leader declined to share, shared a plan of the wrong tier (a
+		// greedy-tier leader publishing its fast-path plan), or our wait
+		// was cancelled: run an independent search (a cancelled context
+		// degrades it per OptimizeContext semantics) and publish the
+		// full-tier result ourselves.
 		o.Stats.CacheMisses++
-		return o.optimizeContext(ctx, tree, req)
+		plan, err := o.optimizeContext(ctx, tree, req)
+		if err == nil && plan != nil && !o.Stats.Degraded {
+			pc.c.Put(key, cachedPlan{
+				plan:      plan.Clone(),
+				cost:      plan.Cost(o.RS.Class),
+				groups:    o.Stats.Groups,
+				exprs:     o.Stats.Exprs,
+				merges:    o.Stats.Merges,
+				memoBytes: o.Stats.MemoBytes,
+			})
+		}
+		return plan, err
 	}
 	o.Stats.CacheMisses++
 	// A panicking rule hook must not wedge followers: the deferred
@@ -200,6 +227,19 @@ func (o *Optimizer) cacheHit(cp cachedPlan) *PExpr {
 	o.Stats.Exprs = cp.exprs
 	o.Stats.Merges = cp.merges
 	o.Stats.MemoBytes = cp.memoBytes
+	// Tier provenance flows to the caller: a greedy entry reports its
+	// tier, a refined entry its measured greedy-vs-full costs. Classic
+	// full entries leave all of this zero, keeping untiered runs
+	// byte-identical.
+	if cp.tier == TierGreedy {
+		o.Stats.Tier = TierGreedy.String()
+		o.Stats.GreedyCost = cp.cost
+	}
+	if cp.refined {
+		o.Stats.Refined = true
+		o.Stats.GreedyCost = cp.greedyCost
+		o.Stats.FullCost = cp.cost
+	}
 	return cp.plan.Clone()
 }
 

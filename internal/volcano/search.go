@@ -73,6 +73,17 @@ type Options struct {
 	// subtree winners. nil — the default — leaves plans, stats, and
 	// errors byte-identical to a cacheless build.
 	Cache *PlanCache
+	// Tier selects the planning tier (see tier.go): TierFull — the zero
+	// value — is the classic complete search, byte-identical to builds
+	// without tiering; TierGreedy serves the sub-millisecond greedy
+	// plan; TierAuto serves greedy first and refines in the background
+	// per Router policy when a Cache is attached.
+	Tier TierMode
+	// Router is the shared adaptive tier policy consulted by TierAuto
+	// (nil: always refine). It also owns the background refiner
+	// lifecycle; share one Router across every optimizer of a serving
+	// surface.
+	Router *Router
 }
 
 // DefaultMaxExprs is the default search-space cap.
@@ -180,10 +191,15 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, tree *core.Expr, req *c
 	return o.dispatchOptimize(ctx, tree, req)
 }
 
-// dispatchOptimize routes through the plan cache when one is attached;
-// the cacheless path is a direct call, keeping disabled-cache runs
-// byte-identical to previous releases.
+// dispatchOptimize routes tiered requests to the anytime planner and
+// cached requests through the plan cache; the cacheless full-tier path
+// is a direct call, keeping disabled-cache untiered runs byte-identical
+// to previous releases (TierFull with an attached Router takes exactly
+// the same path — the router is consulted only by TierAuto).
 func (o *Optimizer) dispatchOptimize(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	if o.Opts.Tier != TierFull {
+		return o.tieredOptimize(ctx, tree, req)
+	}
 	if o.Opts.Cache.Enabled() {
 		return o.cachedOptimize(ctx, tree, req)
 	}

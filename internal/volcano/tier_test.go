@@ -1,0 +1,345 @@
+package volcano
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"prairie/internal/core"
+)
+
+// optTiered runs one optimization with the given cache, router, and
+// tier on a fresh optimizer.
+func optTiered(t *testing.T, w *testWorld, tree *core.Expr, pc *PlanCache, rt *Router, tier TierMode) (*PExpr, *Stats) {
+	t.Helper()
+	o := NewOptimizer(w.rs)
+	o.Opts.Cache = pc
+	o.Opts.Router = rt
+	o.Opts.Tier = tier
+	plan, err := o.Optimize(tree.Clone(), nil)
+	if err != nil {
+		t.Fatalf("optimize (tier %s): %v", tier, err)
+	}
+	return plan, o.Stats
+}
+
+// TestTierNeutral: with the tier left at the default (TierFull), an
+// attached-but-unused router must leave plans and rendered stats
+// byte-identical to a build without tiering — cacheless and cached,
+// cold and warm. This is the `make tier-guard` functional half.
+func TestTierNeutral(t *testing.T) {
+	w := newTestWorld()
+	q := w.chain(8, 4, 2, 6)
+
+	// Cacheless.
+	pOff, sOff := optTiered(t, w, q, nil, nil, TierFull)
+	pDis, sDis := optTiered(t, w, q, nil, NewRouter(RouterConfig{}), TierFull)
+	if pOff.Format() != pDis.Format() {
+		t.Error("attached router changed the cacheless plan")
+	}
+	if sOff.String() != sDis.String() {
+		t.Errorf("attached router changed cacheless rendered stats:\n%s\nvs\n%s", sOff, sDis)
+	}
+	if strings.Contains(sDis.String(), "tier:") {
+		t.Error("full-tier stats render a tier line")
+	}
+
+	// Cached: cold then warm, each compared byte-for-byte.
+	pcOff, pcDis := NewPlanCache(64), NewPlanCache(64)
+	rt := NewRouter(RouterConfig{})
+	for _, pass := range []string{"cold", "warm"} {
+		pO, sO := optTiered(t, w, q, pcOff, nil, TierFull)
+		pD, sD := optTiered(t, w, q, pcDis, rt, TierFull)
+		if pO.Format() != pD.Format() {
+			t.Errorf("%s cached: attached router changed the plan", pass)
+		}
+		if sO.String() != sD.String() {
+			t.Errorf("%s cached: attached router changed rendered stats:\n%s\nvs\n%s", pass, sO, sD)
+		}
+	}
+	if snap := rt.Snapshot(); snap.RoutedGreedy+snap.RoutedRefine+snap.Refined != 0 {
+		t.Errorf("full-tier runs consulted the router: %+v", snap)
+	}
+}
+
+// TestGreedyTierCaches: a greedy-tier miss publishes a greedy entry;
+// repeats hit it; a full-tier request treats it as a miss (AcquireIf
+// predicate), runs the real search, and upgrades the entry in place, so
+// later greedy requests are served the strictly-better full plan.
+func TestGreedyTierCaches(t *testing.T) {
+	w := newTestWorld()
+	q := w.chain(8, 4, 2, 6, 3)
+	pc := NewPlanCache(64)
+
+	_, s1 := optTiered(t, w, q, pc, nil, TierGreedy)
+	if s1.CacheMisses != 1 || s1.CacheHits != 0 {
+		t.Fatalf("greedy cold: hits=%d misses=%d, want 0/1", s1.CacheHits, s1.CacheMisses)
+	}
+	if s1.Tier != "greedy" || s1.GreedyCost <= 0 {
+		t.Fatalf("greedy cold: tier=%q greedy_cost=%g", s1.Tier, s1.GreedyCost)
+	}
+	if !strings.Contains(s1.String(), "tier: greedy") {
+		t.Errorf("greedy stats missing tier line:\n%s", s1)
+	}
+
+	gPlan, s2 := optTiered(t, w, q, pc, nil, TierGreedy)
+	if s2.CacheHits != 1 || s2.Tier != "greedy" {
+		t.Fatalf("greedy warm: hits=%d tier=%q, want 1/greedy", s2.CacheHits, s2.Tier)
+	}
+
+	// Full tier must not adopt the greedy entry.
+	fPlan, s3 := optTiered(t, w, q, pc, nil, TierFull)
+	if s3.CacheHits != 0 || s3.CacheMisses != 1 {
+		t.Fatalf("full over greedy entry: hits=%d misses=%d, want 0/1", s3.CacheHits, s3.CacheMisses)
+	}
+	if fc, gc := fPlan.Cost(w.rs.Class), gPlan.Cost(w.rs.Class); fc > gc {
+		t.Errorf("full plan (%g) costs more than greedy (%g)", fc, gc)
+	}
+
+	// The full search upgraded the entry: greedy requests now hit it.
+	uPlan, s4 := optTiered(t, w, q, pc, nil, TierGreedy)
+	if s4.CacheHits != 1 {
+		t.Fatalf("greedy after upgrade: hits=%d, want 1", s4.CacheHits)
+	}
+	if uPlan.Format() != fPlan.Format() {
+		t.Error("greedy request after upgrade did not serve the full plan")
+	}
+	if s4.Tier != "" {
+		t.Errorf("full-entry hit reports tier %q, want \"\"", s4.Tier)
+	}
+}
+
+// TestTierAutoRefinesByteIdentical: an auto miss answers greedy, the
+// background refinement hot-swaps the entry, and the refined plan is
+// byte-identical to a cold full optimization of the same query — the
+// PR's central acceptance criterion.
+func TestTierAutoRefinesByteIdentical(t *testing.T) {
+	w := newTestWorld()
+	q := w.chain(8, 4, 2, 6, 3)
+	pc := NewPlanCache(64)
+	rt := NewRouter(RouterConfig{})
+
+	first, s1 := optTiered(t, w, q, pc, rt, TierAuto)
+	if s1.Tier != "greedy" {
+		t.Fatalf("auto miss answered tier %q, want greedy", s1.Tier)
+	}
+	if first == nil {
+		t.Fatal("auto miss returned no plan")
+	}
+	rt.Wait()
+
+	refined, s2 := optTiered(t, w, q, pc, rt, TierAuto)
+	if s2.CacheHits != 1 {
+		t.Fatalf("post-refinement: hits=%d, want 1", s2.CacheHits)
+	}
+	if !s2.Refined {
+		t.Fatal("post-refinement hit not marked refined")
+	}
+	if s2.GreedyCost <= 0 || s2.FullCost <= 0 {
+		t.Errorf("refined hit missing cost pair: greedy=%g full=%g", s2.GreedyCost, s2.FullCost)
+	}
+
+	cold, _ := optCached(t, w, q, nil)
+	if refined.Format() != cold.Format() {
+		t.Errorf("refined plan differs from cold full optimization:\n%s\nvs\n%s",
+			refined.Format(), cold.Format())
+	}
+	snap := rt.Snapshot()
+	if snap.Refined != 1 {
+		t.Errorf("router counted %d refinements, want 1", snap.Refined)
+	}
+}
+
+// TestTierRefineEpochGuard: an Invalidate racing the hot-swap window
+// must win — the refinement is dropped (or lands under an unreachable
+// stale key) and never resurrects the pre-invalidation plan.
+func TestTierRefineEpochGuard(t *testing.T) {
+	w := newTestWorld()
+	q := w.chain(8, 4, 2, 6)
+	pc := NewPlanCache(64)
+	rt := NewRouter(RouterConfig{})
+	rt.testHookBeforeSwap = func() { pc.Invalidate() }
+
+	optTiered(t, w, q, pc, rt, TierAuto)
+	rt.Wait()
+
+	snap := rt.Snapshot()
+	if snap.RefineStale != 1 || snap.Refined != 0 {
+		t.Fatalf("refinement not dropped by epoch check: %+v", snap)
+	}
+	// Nothing stale is servable: the next full-tier run misses.
+	_, s := optTiered(t, w, q, pc, rt, TierFull)
+	if s.CacheHits != 0 {
+		t.Error("stale plan served after invalidation")
+	}
+}
+
+// TestRouterRouteObserve: the routing policy learns online — unseen
+// classes refine, no-benefit classes converge to greedy with periodic
+// probes, and a benefit shift re-enables refinement.
+func TestRouterRouteObserve(t *testing.T) {
+	rt := NewRouter(RouterConfig{MinSamples: 2, ProbeEvery: 3})
+	const class = uint64(42)
+
+	if !rt.route(class) {
+		t.Fatal("unseen class not routed to refinement")
+	}
+	rt.observe(class, 100, 100) // no benefit
+	rt.observe(class, 100, 100)
+	got := []bool{rt.route(class), rt.route(class), rt.route(class)}
+	want := []bool{false, false, true} // greedy, greedy, probe
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("routes after convergence = %v, want %v", got, want)
+		}
+	}
+	rt.observe(class, 200, 100) // full search now wins 2x
+	if !rt.route(class) {
+		t.Error("benefit shift did not re-enable refinement")
+	}
+
+	var nilRouter *Router
+	if !nilRouter.route(class) {
+		t.Error("nil router must always refine")
+	}
+	nilRouter.observe(class, 1, 2)
+	nilRouter.Wait()
+	if s := nilRouter.Snapshot(); s != (RouterStats{}) {
+		t.Errorf("nil router snapshot = %+v", s)
+	}
+}
+
+// TestShapeClassCoarse: the router's shape class ignores catalog
+// cardinalities (same operator tree pools its stats) but distinguishes
+// operator shapes.
+func TestShapeClassCoarse(t *testing.T) {
+	w := newTestWorld()
+	a := w.rs.shapeClass(w.chain(8, 4, 2))
+	b := w.rs.shapeClass(w.chain(16, 32, 64))
+	if a != b {
+		t.Error("same shape over different cardinalities got distinct classes")
+	}
+	c := w.rs.shapeClass(w.chain(8, 4, 2, 6))
+	if a == c {
+		t.Error("different arities share a shape class")
+	}
+}
+
+// TestGreedyNoPlanTyped: when no implementation rule covers the
+// original tree under the requirement, GreedyPlan returns the typed
+// ErrGreedyNoPlan (never a nil plan with a nil error), and errors.Is
+// matches both it and the generic ErrNoPlan.
+func TestGreedyNoPlanTyped(t *testing.T) {
+	w := newTestWorld()
+	// Remove the enforcer and merge join so no order can be produced.
+	w.rs.Enforcers = nil
+	var impls []*ImplRule
+	for _, r := range w.rs.Impls {
+		if r.Name != "join_merge_join" {
+			impls = append(impls, r)
+		}
+	}
+	w.rs.Impls = impls
+	req := w.alg.NewDesc()
+	req.Set(w.ord, core.OrderBy(core.A("R1", "a")))
+	tree := w.retOf(w.leaf("R1", 8, core.A("R1", "a")))
+
+	plan, err := GreedyPlan(w.rs, tree.Clone(), req)
+	if plan != nil {
+		t.Fatal("GreedyPlan returned a plan for an unimplementable shape")
+	}
+	if !errors.Is(err, ErrGreedyNoPlan) {
+		t.Errorf("err = %v, want ErrGreedyNoPlan", err)
+	}
+	if !errors.Is(err, ErrNoPlan) {
+		t.Errorf("err = %v does not unwrap to ErrNoPlan", err)
+	}
+
+	// The greedy tier surfaces the same typed error, cached or not.
+	for _, pc := range []*PlanCache{nil, NewPlanCache(8)} {
+		o := NewOptimizer(w.rs)
+		o.Opts.Cache = pc
+		o.Opts.Tier = TierGreedy
+		if _, err := o.Optimize(tree.Clone(), req); !errors.Is(err, ErrGreedyNoPlan) {
+			t.Errorf("greedy tier (cache=%v): err = %v, want ErrGreedyNoPlan", pc.Enabled(), err)
+		}
+	}
+}
+
+// TestParseTier maps wire names to modes and rejects garbage.
+func TestParseTier(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want TierMode
+	}{{"", TierFull}, {"full", TierFull}, {"greedy", TierGreedy}, {"auto", TierAuto}} {
+		got, err := ParseTier(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseTier("bogus"); err == nil {
+		t.Error("ParseTier accepted an unknown tier")
+	}
+}
+
+// TestTierHotSwapRace drives concurrent auto/greedy/full requests and
+// invalidations over a shared cache and router — the hot-swap, the
+// AcquireIf upgrade path, and epoch bumps all racing. Run under `make
+// cache-guard` (-race); correctness here is "no race, no panic, every
+// request answered".
+func TestTierHotSwapRace(t *testing.T) {
+	w := newTestWorld()
+	queries := []*core.Expr{
+		w.chain(8, 4, 2),
+		w.chain(8, 4, 2, 6),
+		w.chain(16, 2, 8, 4),
+	}
+	pc := NewPlanCache(64)
+	rt := NewRouter(RouterConfig{})
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch {
+				case g == 0 && i%10 == 9:
+					pc.Invalidate()
+					continue
+				default:
+					o := NewOptimizer(w.rs)
+					o.Opts.Cache = pc
+					o.Opts.Router = rt
+					o.Opts.Tier = []TierMode{TierAuto, TierGreedy, TierFull}[(g+i)%3]
+					plan, err := o.Optimize(queries[i%len(queries)].Clone(), nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if plan == nil {
+						errs <- errors.New("nil plan without error")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rt.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles, a fresh full-tier run still byte-matches a
+	// cold optimization.
+	pc.Invalidate()
+	warm, _ := optTiered(t, w, queries[1], pc, rt, TierFull)
+	cold, _ := optCached(t, w, queries[1], nil)
+	if warm.Format() != cold.Format() {
+		t.Error("post-race full plan differs from cold optimization")
+	}
+}

@@ -1,0 +1,152 @@
+package prairie_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"prairie/internal/data"
+	"prairie/internal/exec"
+	"prairie/internal/oodb"
+	"prairie/internal/qgen"
+	"prairie/internal/server"
+)
+
+// This file extends the differential harness to the tiered anytime
+// planner: the greedy-tier plan, the background-refined plan, and a
+// post-invalidation cold full plan must all execute to the same bag of
+// tuples as the naive evaluator, and the refined plan must be
+// byte-identical to the cold full plan — faster first answers, never
+// different answers.
+
+// svcInvalidate bumps the service's cache epoch.
+func svcInvalidate(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/invalidate", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invalidate: status %d", resp.StatusCode)
+	}
+}
+
+// TestTierDifferential: per expression family on the hand-coded OODB
+// world, (1) a greedy-tier answer executes correctly, (2) an auto-tier
+// answer is greedy-first and its refined successor both executes
+// correctly and byte-matches (3) a cold full optimization of the same
+// query.
+func TestTierDifferential(t *testing.T) {
+	const maxN, seed = 4, int64(101)
+	reg, err := server.DefaultRegistry(maxN, seed, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	const name = "oodb/volcano"
+	w, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("world %s missing", name)
+	}
+	db := data.Populate(w.Cat, seed, 32)
+	o := oodb.New(w.Cat)
+	naive := &exec.Naive{DB: db, P: exec.Props{
+		Ord: o.Ord, JP: o.JP, SP: o.SP, PA: o.PA, MA: o.MA, UA: o.UA,
+	}}
+	for _, e := range []qgen.ExprKind{qgen.E1, qgen.E2, qgen.E3, qgen.E4} {
+		q := server.QuerySpec{Family: e.String(), N: 3}
+		logical, err := qgen.Build(o, e, q.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.Eval(logical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := server.OptimizeRequest{Ruleset: name, Query: q, IncludePlan: true}
+
+		// (1) Greedy tier: correct, never refined.
+		greedy := svcPost(t, hs.URL, withTier(req, "greedy"))
+		if greedy.PlannerTier != "greedy" {
+			t.Errorf("%s: greedy request served tier %q", q, greedy.PlannerTier)
+		}
+		if got := runWirePlan(t, w, db, greedy); !exec.SameBag(got, want) {
+			t.Errorf("%s: greedy plan result differs from naive evaluation", q)
+		}
+
+		// (2) Auto tier: hits the greedy entry (greedy-first contract)
+		// and schedules its refinement.
+		auto := svcPost(t, hs.URL, withTier(req, "auto"))
+		if auto.PlannerTier != "greedy" || !auto.CacheHit {
+			t.Errorf("%s: auto after greedy = tier %q hit %v, want greedy hit", q, auto.PlannerTier, auto.CacheHit)
+		}
+		srv.Router().Wait()
+
+		refined := svcPost(t, hs.URL, withTier(req, "auto"))
+		if !refined.Refined || !refined.CacheHit {
+			t.Errorf("%s: post-refinement = refined %v hit %v, want both", q, refined.Refined, refined.CacheHit)
+		}
+		if got := runWirePlan(t, w, db, refined); !exec.SameBag(got, want) {
+			t.Errorf("%s: refined plan result differs from naive evaluation", q)
+		}
+
+		// (3) Cold full: byte-identical to the refined entry — the
+		// acceptance criterion that background refinement equals a cold
+		// full optimization.
+		svcInvalidate(t, hs.URL)
+		full := svcPost(t, hs.URL, withTier(req, "full"))
+		if full.CacheHit {
+			t.Errorf("%s: full request hit after invalidation", q)
+		}
+		if full.PlanText != refined.PlanText {
+			t.Errorf("%s: refined plan %q differs from cold full plan %q", q, refined.PlanText, full.PlanText)
+		}
+		if got := runWirePlan(t, w, db, full); !exec.SameBag(got, want) {
+			t.Errorf("%s: cold full plan result differs from naive evaluation", q)
+		}
+	}
+}
+
+// withTier returns req with its tier field set.
+func withTier(req server.OptimizeRequest, tier string) server.OptimizeRequest {
+	req.Tier = tier
+	return req
+}
+
+// TestTierUnknownRejected: an unknown tier name is a 400, not a served
+// plan.
+func TestTierUnknownRejected(t *testing.T) {
+	reg, err := server.DefaultRegistry(4, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body, _ := json.Marshal(server.OptimizeRequest{
+		Ruleset: "oodb/volcano",
+		Query:   server.QuerySpec{Family: "E1", N: 3},
+		Tier:    "bogus",
+	})
+	resp, err := http.Post(hs.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tier: status %d, want 400", resp.StatusCode)
+	}
+}
