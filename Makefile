@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard bench-json bench-serve bench-tier fuzz-smoke cover ci experiments clean
+.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard exec-guard bench-json bench-serve bench-tier bench-exec fuzz-smoke cover ci experiments clean
 
 all: ci
 
@@ -70,6 +70,18 @@ tier-guard:
 	done
 	@awk -v pct=$(GUARD_PCT) -v guard=tier-guard -f scripts/guard.awk /tmp/tierguard.txt
 
+# Executor neutrality guard: the Workers: 1 engine must compile the
+# exact same iterator tree as the zero-options engine (no pool, no
+# wrappers) and cost the same to run; the parallel machinery is also
+# exercised under the race detector here.
+exec-guard:
+	$(GO) test -race -timeout 300s ./internal/exec
+	@rm -f /tmp/execguard.txt
+	@for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test -run 'XXX' -bench 'ExecGuard' -benchtime 50x . | tee -a /tmp/execguard.txt || exit 1; \
+	done
+	@awk -v pct=$(GUARD_PCT) -v guard=exec-guard -f scripts/guard.awk /tmp/execguard.txt
+
 # Archive the repeat-workload plan-cache benchmark (cold vs warm ns/op,
 # full-hit speedup, hit rate, warm-start pruning, allocs) for diffing
 # across revisions.
@@ -88,6 +100,12 @@ bench-serve: build
 bench-tier: build
 	$(GO) run ./cmd/optbench -experiment tier -json > BENCH_tier.json
 	@echo "bench-tier: wrote BENCH_tier.json"
+
+# Archive the executor benchmark (naive vs serial vs parallel engines,
+# hash pre-sizing ablation, bag-verified) for diffing across revisions.
+bench-exec: build
+	$(GO) run ./cmd/optbench -experiment exec -json > BENCH_exec.json
+	@echo "bench-exec: wrote BENCH_exec.json"
 
 # Fuzz smoke: both fuzz targets for FUZZTIME each. FuzzParse drives the
 # rule-language front end (parse -> format -> parse fixed point);
@@ -108,7 +126,7 @@ cover:
 	$(GO) test -timeout 600s -coverprofile=cover.out ./...
 	@awk -v floor=$(COVER_FLOOR) -f scripts/cover.awk cover.out
 
-ci: vet build race bench-smoke cache-guard tier-guard fuzz-smoke cover
+ci: vet build race bench-smoke cache-guard tier-guard exec-guard fuzz-smoke cover
 
 # Regenerate every paper table/figure (sequential, paper-faithful timing).
 experiments: build

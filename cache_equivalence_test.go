@@ -17,6 +17,8 @@ import (
 	"prairie"
 	"prairie/internal/catalog"
 	"prairie/internal/core"
+	"prairie/internal/data"
+	"prairie/internal/exec"
 	"prairie/internal/oodb"
 	"prairie/internal/p2v"
 	"prairie/internal/qgen"
@@ -213,6 +215,58 @@ func TestPlanCacheEquivalence(t *testing.T) {
 			}
 			if got, want := offStats.String(), coldStats.String(); got != want {
 				t.Errorf("disabled-cache stats render differs:\noff:  %q\ncold: %q", got, want)
+			}
+		})
+	}
+}
+
+// TestPlanCacheHitPlansExecute: byte-identical plan text is necessary
+// but not sufficient — for the executable OODB worlds, the plan served
+// from a cache hit is compiled and run on synthetic data, on both the
+// serial and the parallel engine, and bag-compared against the naive
+// evaluation of the logical query.
+func TestPlanCacheHitPlansExecute(t *testing.T) {
+	seed := qgen.InstanceSeeds()[0]
+	for _, fam := range []struct {
+		e qgen.ExprKind
+		n int
+	}{{qgen.E1, 4}, {qgen.E2, 3}, {qgen.E3, 3}, {qgen.E4, 3}} {
+		t.Run(fmt.Sprintf("%v/n%d", fam.e, fam.n), func(t *testing.T) {
+			cat := qgen.Catalog(fam.n, seed, false)
+			vo := oodb.New(cat)
+			tree, err := qgen.Build(vo, fam.e, fam.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := cacheWorld{"exec", vo.VolcanoRules(), tree, core.NewDescriptor(vo.Alg.Props)}
+			pc := volcano.NewPlanCache(16)
+			cacheRun(t, w, pc) // miss populates
+			hitPlan, hitStats := cacheRun(t, w, pc)
+			if hitStats.CacheHits != 1 {
+				t.Fatalf("second run was not a hit: %+v", hitStats)
+			}
+			db := data.Populate(cat, seed, 32)
+			props := exec.Props{Ord: vo.Ord, JP: vo.JP, SP: vo.SP, PA: vo.PA, MA: vo.MA, UA: vo.UA}
+			want, err := (&exec.Naive{DB: db, P: props}).Eval(tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe := hitPlan.ToExpr()
+			for _, workers := range []int{1, 4} {
+				comp := exec.NewCompiler(db, props)
+				comp.Opts = exec.ExecOptions{Workers: workers}
+				it, err := comp.Compile(pe)
+				if err != nil {
+					t.Fatalf("workers=%d: compile: %v", workers, err)
+				}
+				got, err := exec.Run(it)
+				if err != nil {
+					t.Fatalf("workers=%d: execute: %v", workers, err)
+				}
+				if !exec.SameBag(got, want) {
+					t.Errorf("workers=%d: cache-hit plan disagrees with naive (%d vs %d rows)",
+						workers, len(got.Rows), len(want.Rows))
+				}
 			}
 		})
 	}

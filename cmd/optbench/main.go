@@ -51,7 +51,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, all")
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, exec, all")
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
@@ -66,6 +66,7 @@ func main() {
 		"attach a shared cross-query plan cache per sweep point: repeats after the first become cache hits")
 	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for -cache and -experiment repeat (0 = 512)")
 	draws := flag.Int("draws", 0, "zipfian draws for -experiment repeat (0 = 300)")
+	rows := flag.Int("rows", 0, "per-class row cap for -experiment exec (0 = 4096)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables (for BENCH_*.json archives)")
 	observe := flag.Bool("observe", false,
@@ -135,6 +136,7 @@ func main() {
 		UseCache:   *cache,
 		CacheSize:  *cacheSize,
 		Draws:      *draws,
+		Rows:       *rows,
 	}
 	emit := func(t *experiments.Table, err error) {
 		if err != nil {
@@ -168,6 +170,7 @@ func main() {
 		"repeat": func() { emit(experiments.RepeatWorkload(opts)) },
 		"serve":  func() { emit(experiments.ServeLoad(opts)) },
 		"tier":   func() { emit(experiments.TierBench(opts)) },
+		"exec":   func() { emit(experiments.ExecBench(opts)) },
 	}
 	if *which == "all" {
 		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {

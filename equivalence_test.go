@@ -176,8 +176,26 @@ func TestDegradedE4ReturnsExecutablePlan(t *testing.T) {
 	if err != nil {
 		t.Fatalf("degraded plan does not compile: %v", err)
 	}
-	if _, err := exec.Run(it); err != nil {
+	serial, err := exec.Run(it)
+	if err != nil {
 		t.Fatalf("degraded plan does not execute: %v", err)
+	}
+	// And under the parallel engine, which must agree with serial.
+	pcomp := exec.NewCompiler(db, exec.Props{
+		Ord: vo.Ord, JP: vo.JP, SP: vo.SP, PA: vo.PA, MA: vo.MA, UA: vo.UA,
+	})
+	pcomp.Opts = exec.ExecOptions{Workers: 4}
+	pit, err := pcomp.Compile(pe)
+	if err != nil {
+		t.Fatalf("degraded plan does not compile for the parallel engine: %v", err)
+	}
+	par, err := exec.Run(pit)
+	if err != nil {
+		t.Fatalf("degraded plan does not execute in parallel: %v", err)
+	}
+	if !exec.SameBag(serial, par) {
+		t.Fatalf("parallel execution disagrees with serial: %d vs %d rows",
+			len(par.Rows), len(serial.Rows))
 	}
 }
 

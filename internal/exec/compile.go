@@ -28,6 +28,12 @@ type Compiler struct {
 	DB    *data.DB
 	P     Props
 	Build map[string]BuildFunc
+	// Opts configures the engine; the zero value is the fully serial,
+	// pre-sized executor. Set it before the first Compile: with
+	// Workers > 1 the compiler wraps join inputs in parallel subtree
+	// runners sharing one bounded worker pool.
+	Opts ExecOptions
+	sem  chan struct{}
 }
 
 // NewCompiler returns a compiler with the standard algorithm builders
@@ -55,6 +61,12 @@ func NewCompiler(db *data.DB, p Props) *Compiler {
 
 // Compile builds the iterator tree for a plan.
 func (c *Compiler) Compile(plan *core.Expr) (Iterator, error) {
+	if c.Opts.Workers > 1 && c.sem == nil {
+		// One slot per background subtree runner; the consuming thread
+		// is the remaining worker. Shared across every plan this
+		// compiler builds.
+		c.sem = make(chan struct{}, c.Opts.Workers-1)
+	}
 	if plan.IsLeaf() {
 		return nil, fmt.Errorf("exec: bare stored file %q; plans access files through scan algorithms", plan.File)
 	}
@@ -128,12 +140,37 @@ func buildProject(c *Compiler, node *core.Expr) (Iterator, error) {
 	return &projectIter{in: in, attrs: node.D.AttrList(c.P.PA)}, nil
 }
 
+// worthBackgrounding reports whether a join input subtree carries
+// enough work to run on a background worker. Bare scans materialize
+// their rows at Open with no per-tuple compute downstream of it, so
+// shipping them through a channel is pure overhead — worker slots are
+// better spent on subtrees with real pipeline stages.
+func worthBackgrounding(kid *core.Expr) bool {
+	switch kid.Op.Name {
+	case "File_scan", "Index_scan":
+		return false
+	}
+	return true
+}
+
 func (c *Compiler) joinInputs(node *core.Expr) (l, r Iterator, pred *core.Pred, err error) {
 	if l, err = c.Compile(node.Kids[0]); err != nil {
 		return
 	}
 	if r, err = c.Compile(node.Kids[1]); err != nil {
 		return
+	}
+	if c.sem != nil {
+		// Independent join subtrees execute concurrently: both sides
+		// open in the background at once, the build side drains while
+		// the probe side pre-computes, and a chain of joins becomes a
+		// pipeline of stages across workers.
+		if worthBackgrounding(node.Kids[0]) {
+			l = &parallelIter{in: l, sem: c.sem}
+		}
+		if worthBackgrounding(node.Kids[1]) {
+			r = &parallelIter{in: r, sem: c.sem}
+		}
 	}
 	pred = c.pred(node.D, c.P.JP)
 	return
@@ -152,7 +189,7 @@ func buildHashJoin(c *Compiler, node *core.Expr) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hashJoinIter{l: l, r: r, pred: pred}, nil
+	return &hashJoinIter{l: l, r: r, pred: pred, preSize: !c.Opts.DisablePreSize}, nil
 }
 
 func buildMergeJoin(c *Compiler, node *core.Expr) (Iterator, error) {
@@ -228,9 +265,17 @@ type matIter struct {
 	refCol int
 	idCol  int
 	out    data.Schema
+	// byID hashes target ids to candidate row ordinals, replacing the
+	// per-tuple O(n) fallback scan with a one-time build; slices keep
+	// scan order so the first Equal row still wins.
+	byID map[uint64][]int
 }
 
 func (m *matIter) Schema() data.Schema { return m.out }
+
+// RowHint passes through the input's bound: a pointer chase appends
+// columns and only drops rows (dangling pointers).
+func (m *matIter) RowHint() (int, bool) { return rowHint(m.in) }
 
 func (m *matIter) Open() error {
 	if err := m.in.Open(); err != nil {
@@ -258,6 +303,11 @@ func (m *matIter) Open() error {
 	if !ok {
 		return fmt.Errorf("exec: target class %s has no id attribute", m.target.Class.Name)
 	}
+	m.byID = make(map[uint64][]int, len(m.target.Rows))
+	for i, row := range m.target.Rows {
+		h := row[m.idCol].Hash()
+		m.byID[h] = append(m.byID[h], i)
+	}
 	m.out = m.in.Schema().Concat(m.target.Schema)
 	return nil
 }
@@ -269,14 +319,14 @@ func (m *matIter) Next() (data.Tuple, bool, error) {
 			return nil, false, err
 		}
 		ptr := t[m.refCol]
-		// Objects are stored with id == row ordinal; fall back to a scan
-		// if the ordinal is out of range (scaled-down tables).
-		if int(ptr.I) < len(m.target.Rows) && m.target.Rows[ptr.I][m.idCol].Equal(data.IntD(ptr.I)) {
+		// Objects are stored with id == row ordinal; fall back to the
+		// id hash if the ordinal is out of range (scaled-down tables).
+		if int(ptr.I) < len(m.target.Rows) && ptr.I >= 0 && m.target.Rows[ptr.I][m.idCol].Equal(data.IntD(ptr.I)) {
 			return append(append(data.Tuple{}, t...), m.target.Rows[ptr.I]...), true, nil
 		}
-		for _, row := range m.target.Rows {
-			if row[m.idCol].Equal(ptr) {
-				return append(append(data.Tuple{}, t...), row...), true, nil
+		for _, i := range m.byID[ptr.Hash()] {
+			if m.target.Rows[i][m.idCol].Equal(ptr) {
+				return append(append(data.Tuple{}, t...), m.target.Rows[i]...), true, nil
 			}
 		}
 		// Dangling pointer: drop the tuple (inner-join semantics).

@@ -421,6 +421,28 @@ func TestEvalPredOperators(t *testing.T) {
 	}
 }
 
+// TestEvalPredNotPropagatesError: NOT over a failing operand used to
+// return true alongside the error; it must return false, err so callers
+// that consult the boolean first cannot treat a broken predicate as a
+// match.
+func TestEvalPredNotPropagatesError(t *testing.T) {
+	s := data.Schema{core.A("C1", "a")}
+	row := data.Tuple{data.IntD(3)}
+	bad := core.Not(core.EqConst(core.A("C9", "zz"), core.Int(1)))
+	ok, err := EvalPred(bad, s, row)
+	if err == nil {
+		t.Fatal("NOT over a missing attribute did not error")
+	}
+	if ok {
+		t.Error("NOT(<error>) evaluated to true alongside the error")
+	}
+	// Nested: NOT(NOT(<error>)) must not flip back to a silent match.
+	ok, err = EvalPred(core.Not(bad), s, row)
+	if err == nil || ok {
+		t.Errorf("nested NOT over error: ok=%v err=%v", ok, err)
+	}
+}
+
 func TestNaiveProjectAndSort(t *testing.T) {
 	db, _ := testDB()
 	tp := newTinyProps()

@@ -16,6 +16,13 @@ import (
 
 // Iterator is the demand-driven stream interface (Volcano's
 // open/next/close protocol).
+//
+// Close discipline: Close is always safe to call — after a failed or
+// partial Open, after end of stream, and repeatedly — and it releases
+// whatever the iterator still holds open, including children whose own
+// Open succeeded before a later step failed. Operators therefore never
+// need to unwind on error paths inside Open; the caller's single
+// deferred Close reaches everything.
 type Iterator interface {
 	// Schema describes the stream's columns; valid before Open.
 	Schema() data.Schema
@@ -25,23 +32,45 @@ type Iterator interface {
 	Close() error
 }
 
+// rowHinter is an optional Iterator refinement: operators that know (an
+// upper bound on) their output cardinality report it so consumers can
+// pre-size hash tables. Hints are advisory and never affect results.
+type rowHinter interface {
+	RowHint() (int, bool)
+}
+
+// rowHint queries an iterator's cardinality hint, if it offers one.
+func rowHint(it Iterator) (int, bool) {
+	if h, ok := it.(rowHinter); ok {
+		return h.RowHint()
+	}
+	return 0, false
+}
+
 // Result is a fully drained stream.
 type Result struct {
 	Schema data.Schema
 	Rows   []data.Tuple
 }
 
-// Run drains an iterator.
-func Run(it Iterator) (*Result, error) {
-	if err := it.Open(); err != nil {
+// Run drains an iterator. The iterator is closed whether Open, Next, or
+// the drain fails, and a Close error surfaces instead of being
+// discarded (unless an earlier error already won).
+func Run(it Iterator) (res *Result, err error) {
+	defer func() {
+		if cerr := it.Close(); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+	}()
+	if err = it.Open(); err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	res := &Result{Schema: it.Schema()}
+	res = &Result{Schema: it.Schema()}
 	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, err
+		t, ok, nerr := it.Next()
+		if nerr != nil {
+			res, err = nil, nerr
+			return res, err
 		}
 		if !ok {
 			return res, nil
@@ -63,13 +92,25 @@ type scanIter struct {
 	byIndex core.Attr // zero: plain file scan
 	rows    []data.Tuple
 	pos     int
+	opened  bool
 }
 
 func (s *scanIter) Schema() data.Schema { return s.tab.Schema }
 
+// RowHint is exact once the scan is open (the selection has been
+// applied) and an upper bound — the stored table's cardinality —
+// before.
+func (s *scanIter) RowHint() (int, bool) {
+	if s.opened {
+		return len(s.rows), true
+	}
+	return len(s.tab.Rows), true
+}
+
 func (s *scanIter) Open() error {
 	s.rows = s.rows[:0]
 	s.pos = 0
+	s.opened = true
 	candidates := s.tab.Rows
 	if s.byIndex != (core.Attr{}) {
 		if eq, ok := indexEqTerm(s.sel, s.byIndex); ok && s.tab.HasIndex(s.byIndex.Name) {
@@ -136,6 +177,9 @@ func (f *filterIter) Schema() data.Schema { return f.in.Schema() }
 func (f *filterIter) Open() error         { return f.in.Open() }
 func (f *filterIter) Close() error        { return f.in.Close() }
 
+// RowHint passes through the input's bound: a filter only removes rows.
+func (f *filterIter) RowHint() (int, bool) { return rowHint(f.in) }
+
 func (f *filterIter) Next() (data.Tuple, bool, error) {
 	for {
 		t, ok, err := f.in.Next()
@@ -192,6 +236,9 @@ func (p *projectIter) Next() (data.Tuple, bool, error) {
 
 func (p *projectIter) Close() error { return p.in.Close() }
 
+// RowHint: projection is row-preserving.
+func (p *projectIter) RowHint() (int, bool) { return rowHint(p.in) }
+
 // nullIter is the Null algorithm: a pure pass-through.
 type nullIter struct{ in Iterator }
 
@@ -199,26 +246,44 @@ func (n *nullIter) Schema() data.Schema             { return n.in.Schema() }
 func (n *nullIter) Open() error                     { return n.in.Open() }
 func (n *nullIter) Next() (data.Tuple, bool, error) { return n.in.Next() }
 func (n *nullIter) Close() error                    { return n.in.Close() }
+func (n *nullIter) RowHint() (int, bool)            { return rowHint(n.in) }
 
 // ---------------------------------------------------------------------------
 // Sort
 
 type sortIter struct {
-	in   Iterator
-	by   []core.Attr
-	rows []data.Tuple
-	pos  int
+	in     Iterator
+	by     []core.Attr
+	rows   []data.Tuple
+	pos    int
+	inOpen bool
 }
 
 func (s *sortIter) Schema() data.Schema { return s.in.Schema() }
+
+// RowHint: sorting is row-preserving; exact once drained.
+func (s *sortIter) RowHint() (int, bool) {
+	if !s.inOpen && s.rows != nil {
+		return len(s.rows), true
+	}
+	return rowHint(s.in)
+}
 
 func (s *sortIter) Open() error {
 	if err := s.in.Open(); err != nil {
 		return err
 	}
-	defer s.in.Close()
+	s.inOpen = true
 	s.rows = nil
 	s.pos = 0
+	cols := make([]int, len(s.by))
+	for i, a := range s.by {
+		c, ok := s.in.Schema().Col(a)
+		if !ok {
+			return fmt.Errorf("exec: sort attribute %v not in input", a)
+		}
+		cols[i] = c
+	}
 	for {
 		t, ok, err := s.in.Next()
 		if err != nil {
@@ -229,13 +294,11 @@ func (s *sortIter) Open() error {
 		}
 		s.rows = append(s.rows, t)
 	}
-	cols := make([]int, len(s.by))
-	for i, a := range s.by {
-		c, ok := s.in.Schema().Col(a)
-		if !ok {
-			return fmt.Errorf("exec: sort attribute %v not in input", a)
-		}
-		cols[i] = c
+	// The sort is a pipeline breaker: the input is fully consumed, so
+	// release it now rather than holding it until Close.
+	s.inOpen = false
+	if err := s.in.Close(); err != nil {
+		return err
 	}
 	sort.SliceStable(s.rows, func(i, j int) bool {
 		for _, c := range cols {
@@ -260,7 +323,13 @@ func (s *sortIter) Next() (data.Tuple, bool, error) {
 	return t, true, nil
 }
 
-func (s *sortIter) Close() error { return nil }
+func (s *sortIter) Close() error {
+	if !s.inOpen {
+		return nil
+	}
+	s.inOpen = false
+	return s.in.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Unnest

@@ -7,15 +7,38 @@ import (
 	"prairie/internal/data"
 )
 
+// closeTwo closes whichever join inputs are still open, clearing the
+// flags so a second Close is a no-op; the first error wins. Every join
+// iterator routes Close through it, which is what makes the package
+// invariant hold: Close is always safe — after a partial Open, after an
+// Open that failed, after a previous Close — and releases exactly what
+// is still held.
+func closeTwo(l Iterator, lOpen *bool, r Iterator, rOpen *bool) error {
+	var err error
+	if *lOpen {
+		*lOpen = false
+		err = l.Close()
+	}
+	if *rOpen {
+		*rOpen = false
+		if e := r.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
 // nlJoinIter is the nested-loops join: for each outer tuple, scan the
 // (materialized) inner input.
 type nlJoinIter struct {
-	l, r  Iterator
-	pred  *core.Pred
-	out   data.Schema
-	inner []data.Tuple
-	cur   data.Tuple
-	pos   int
+	l, r         Iterator
+	pred         *core.Pred
+	out          data.Schema
+	inner        []data.Tuple
+	cur          data.Tuple
+	pos          int
+	lOpen, rOpen bool
+	done         bool
 }
 
 func (j *nlJoinIter) Schema() data.Schema { return j.out }
@@ -26,9 +49,11 @@ func (j *nlJoinIter) Open() error {
 	if err := j.l.Open(); err != nil {
 		return err
 	}
+	j.lOpen = true
 	if err := j.r.Open(); err != nil {
 		return err
 	}
+	j.rOpen = true
 	j.out = j.l.Schema().Concat(j.r.Schema())
 	j.inner = nil
 	for {
@@ -41,13 +66,21 @@ func (j *nlJoinIter) Open() error {
 		}
 		j.inner = append(j.inner, t)
 	}
-	j.r.Close()
+	j.rOpen = false
+	if err := j.r.Close(); err != nil {
+		return err
+	}
 	j.cur = nil
 	j.pos = 0
+	// Empty inner input: no tuple can join, so never pull the outer.
+	j.done = len(j.inner) == 0
 	return nil
 }
 
 func (j *nlJoinIter) Next() (data.Tuple, bool, error) {
+	if j.done {
+		return nil, false, nil
+	}
 	for {
 		if j.cur == nil {
 			t, ok, err := j.l.Next()
@@ -73,21 +106,26 @@ func (j *nlJoinIter) Next() (data.Tuple, bool, error) {
 	}
 }
 
-func (j *nlJoinIter) Close() error { return j.l.Close() }
+func (j *nlJoinIter) Close() error { return closeTwo(j.l, &j.lOpen, j.r, &j.rOpen) }
 
 // hashJoinIter is an equi-join: it builds a hash table on the right
 // input's join attribute and probes with the left. Residual conjuncts of
-// the predicate are applied after probing.
+// the predicate are applied after probing. When the build input reports
+// a row-count hint the table is pre-sized, avoiding incremental rehash
+// of the bucket map (preSize is the compiler's ablation knob).
 type hashJoinIter struct {
-	l, r     Iterator
-	pred     *core.Pred
-	lk, rk   core.Attr
-	out      data.Schema
-	lCol     int
-	buckets  map[uint64][]data.Tuple
-	cur      data.Tuple
-	matches  []data.Tuple
-	matchPos int
+	l, r         Iterator
+	pred         *core.Pred
+	preSize      bool
+	lk, rk       core.Attr
+	out          data.Schema
+	lCol, rCol   int
+	buckets      map[uint64][]data.Tuple
+	cur          data.Tuple
+	matches      []data.Tuple
+	matchPos     int
+	lOpen, rOpen bool
+	done         bool
 }
 
 func (j *hashJoinIter) Schema() data.Schema { return j.out }
@@ -96,9 +134,11 @@ func (j *hashJoinIter) Open() error {
 	if err := j.l.Open(); err != nil {
 		return err
 	}
+	j.lOpen = true
 	if err := j.r.Open(); err != nil {
 		return err
 	}
+	j.rOpen = true
 	j.out = j.l.Schema().Concat(j.r.Schema())
 	var err error
 	if j.lk, j.rk, err = equiKeys(j.pred, j.l.Schema()); err != nil {
@@ -109,11 +149,17 @@ func (j *hashJoinIter) Open() error {
 		return fmt.Errorf("exec: hash join key %v not in left input", j.lk)
 	}
 	j.lCol = lCol
+	// Resolve and validate the right key column once; Next reuses it.
 	rCol, ok := j.r.Schema().Col(j.rk)
 	if !ok {
 		return fmt.Errorf("exec: hash join key %v not in right input", j.rk)
 	}
-	j.buckets = map[uint64][]data.Tuple{}
+	j.rCol = rCol
+	size := 0
+	if j.preSize {
+		size, _ = rowHint(j.r)
+	}
+	j.buckets = make(map[uint64][]data.Tuple, size)
 	for {
 		t, ok, err := j.r.Next()
 		if err != nil {
@@ -125,20 +171,27 @@ func (j *hashJoinIter) Open() error {
 		h := t[rCol].Hash()
 		j.buckets[h] = append(j.buckets[h], t)
 	}
-	j.r.Close()
+	j.rOpen = false
+	if err := j.r.Close(); err != nil {
+		return err
+	}
 	j.cur = nil
 	j.matches = nil
 	j.matchPos = 0
+	// Empty build side: no probe can match, so never pull the left.
+	j.done = len(j.buckets) == 0
 	return nil
 }
 
 func (j *hashJoinIter) Next() (data.Tuple, bool, error) {
-	rCol, _ := j.r.Schema().Col(j.rk)
+	if j.done {
+		return nil, false, nil
+	}
 	for {
 		for j.matchPos < len(j.matches) {
 			inner := j.matches[j.matchPos]
 			j.matchPos++
-			if !j.cur[j.lCol].Equal(inner[rCol]) {
+			if !j.cur[j.lCol].Equal(inner[j.rCol]) {
 				continue // hash collision
 			}
 			joined := append(append(data.Tuple{}, j.cur...), inner...)
@@ -160,112 +213,178 @@ func (j *hashJoinIter) Next() (data.Tuple, bool, error) {
 	}
 }
 
-func (j *hashJoinIter) Close() error { return j.l.Close() }
+func (j *hashJoinIter) Close() error { return closeTwo(j.l, &j.lOpen, j.r, &j.rOpen) }
 
 // mergeJoinIter is an equi-join over inputs sorted on the join
-// attributes. It verifies the sortedness it depends on and fails loudly
-// if an optimizer bug delivers unsorted input.
+// attributes. It streams: only the current right-side group of equal
+// keys is buffered, so memory is bounded by the widest key group rather
+// than the full join output. It verifies the sortedness it depends on
+// incrementally — as tuples are consumed — and fails loudly if an
+// optimizer bug delivers unsorted input; tuples past the point where
+// one side exhausts are never read, which is also the early-termination
+// path for an empty input.
 type mergeJoinIter struct {
-	l, r   Iterator
-	pred   *core.Pred
-	lk, rk core.Attr
-	out    data.Schema
-	left   []data.Tuple
-	right  []data.Tuple
-	li, ri int
-	queue  []data.Tuple
+	l, r         Iterator
+	pred         *core.Pred
+	lk, rk       core.Attr
+	out          data.Schema
+	lCol, rCol   int
+	lOpen, rOpen bool
+
+	lt           data.Tuple // current left tuple; nil once the left is exhausted
+	rNext        data.Tuple // right lookahead past the buffered group; nil once exhausted
+	lPrev, rPrev data.Tuple // sortedness witnesses
+	group        []data.Tuple
+	groupKey     data.Datum
+	haveGroup    bool
+	gi           int
+	done         bool
 }
 
 func (j *mergeJoinIter) Schema() data.Schema { return j.out }
-
-func drainSorted(it Iterator, key core.Attr, side string) ([]data.Tuple, int, error) {
-	col, ok := it.Schema().Col(key)
-	if !ok {
-		return nil, 0, fmt.Errorf("exec: merge join key %v not in %s input", key, side)
-	}
-	var rows []data.Tuple
-	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, 0, err
-		}
-		if !ok {
-			break
-		}
-		if n := len(rows); n > 0 && t[col].Less(rows[n-1][col]) {
-			return nil, 0, fmt.Errorf("exec: merge join %s input not sorted on %v", side, key)
-		}
-		rows = append(rows, t)
-	}
-	return rows, col, nil
-}
 
 func (j *mergeJoinIter) Open() error {
 	if err := j.l.Open(); err != nil {
 		return err
 	}
+	j.lOpen = true
 	if err := j.r.Open(); err != nil {
 		return err
 	}
+	j.rOpen = true
 	j.out = j.l.Schema().Concat(j.r.Schema())
-	var lCol, rCol int
 	var err error
 	if j.lk, j.rk, err = equiKeys(j.pred, j.l.Schema()); err != nil {
 		return err
 	}
-	if j.left, lCol, err = drainSorted(j.l, j.lk, "left"); err != nil {
+	var ok bool
+	if j.lCol, ok = j.l.Schema().Col(j.lk); !ok {
+		return fmt.Errorf("exec: merge join key %v not in left input", j.lk)
+	}
+	if j.rCol, ok = j.r.Schema().Col(j.rk); !ok {
+		return fmt.Errorf("exec: merge join key %v not in right input", j.rk)
+	}
+	j.lt, j.rNext, j.lPrev, j.rPrev = nil, nil, nil, nil
+	j.group, j.haveGroup, j.gi, j.done = j.group[:0], false, 0, false
+	// Prime one tuple of lookahead per side; an empty side ends the
+	// join before the other side is read at all.
+	if err := j.advanceLeft(); err != nil {
 		return err
 	}
-	if j.right, rCol, err = drainSorted(j.r, j.rk, "right"); err != nil {
+	if j.lt == nil {
+		j.done = true
+		return nil
+	}
+	if err := j.advanceRight(); err != nil {
 		return err
 	}
-	j.l.Close()
-	j.r.Close()
-	// Merge phase: emit all matching pairs into the queue (group-wise
-	// cross products on equal keys).
-	j.queue = nil
-	li, ri := 0, 0
-	for li < len(j.left) && ri < len(j.right) {
-		lv, rv := j.left[li][lCol], j.right[ri][rCol]
-		switch {
-		case lv.Less(rv):
-			li++
-		case rv.Less(lv):
-			ri++
-		default:
-			rEnd := ri
-			for rEnd < len(j.right) && j.right[rEnd][rCol].Equal(rv) {
-				rEnd++
-			}
-			for ; li < len(j.left) && j.left[li][lCol].Equal(lv); li++ {
-				for k := ri; k < rEnd; k++ {
-					joined := append(append(data.Tuple{}, j.left[li]...), j.right[k]...)
-					ok, err := EvalPred(j.pred, j.out, joined)
-					if err != nil {
-						return err
-					}
-					if ok {
-						j.queue = append(j.queue, joined)
-					}
-				}
-			}
-			ri = rEnd
-		}
+	if j.rNext == nil {
+		j.done = true
 	}
-	j.li = 0
+	return nil
+}
+
+// advanceLeft reads the next left tuple into lt (nil at end of stream),
+// verifying the sort order the merge depends on.
+func (j *mergeJoinIter) advanceLeft() error {
+	t, ok, err := j.l.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.lt = nil
+		return nil
+	}
+	if j.lPrev != nil && t[j.lCol].Less(j.lPrev[j.lCol]) {
+		return fmt.Errorf("exec: merge join left input not sorted on %v", j.lk)
+	}
+	j.lPrev, j.lt = t, t
+	return nil
+}
+
+// advanceRight reads the next right tuple into rNext (nil at end of
+// stream), verifying the sort order.
+func (j *mergeJoinIter) advanceRight() error {
+	t, ok, err := j.r.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.rNext = nil
+		return nil
+	}
+	if j.rPrev != nil && t[j.rCol].Less(j.rPrev[j.rCol]) {
+		return fmt.Errorf("exec: merge join right input not sorted on %v", j.rk)
+	}
+	j.rPrev, j.rNext = t, t
 	return nil
 }
 
 func (j *mergeJoinIter) Next() (data.Tuple, bool, error) {
-	if j.li >= len(j.queue) {
-		return nil, false, nil
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		// Pair the current left tuple with the buffered key group.
+		if j.haveGroup && j.lt != nil && j.lt[j.lCol].Equal(j.groupKey) {
+			if j.gi < len(j.group) {
+				rt := j.group[j.gi]
+				j.gi++
+				joined := append(append(data.Tuple{}, j.lt...), rt...)
+				ok, err := EvalPred(j.pred, j.out, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					return joined, true, nil
+				}
+				continue
+			}
+			// This left tuple has seen the whole group; next left tuple
+			// may share the key (group-wise cross product).
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			j.gi = 0
+			continue
+		}
+		// The left side moved past the group (sorted inputs: it can
+		// never come back) or no group is loaded yet: discard and align.
+		j.haveGroup = false
+		if j.lt == nil || j.rNext == nil {
+			j.done = true
+			continue
+		}
+		lv, rv := j.lt[j.lCol], j.rNext[j.rCol]
+		switch {
+		case lv.Less(rv):
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case rv.Less(lv):
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Keys match: buffer the full right group for this key.
+			j.groupKey = rv
+			j.group = append(j.group[:0], j.rNext)
+			for {
+				if err := j.advanceRight(); err != nil {
+					return nil, false, err
+				}
+				if j.rNext == nil || !j.rNext[j.rCol].Equal(j.groupKey) {
+					break
+				}
+				j.group = append(j.group, j.rNext)
+			}
+			j.haveGroup = true
+			j.gi = 0
+		}
 	}
-	t := j.queue[j.li]
-	j.li++
-	return t, true, nil
 }
 
-func (j *mergeJoinIter) Close() error { return nil }
+func (j *mergeJoinIter) Close() error { return closeTwo(j.l, &j.lOpen, j.r, &j.rOpen) }
 
 // equiKeys extracts the single equi-join term's attributes, oriented so
 // the first belongs to the left schema.

@@ -1,0 +1,219 @@
+package exec
+
+import "prairie/internal/data"
+
+// ExecOptions configures the executor engine (DESIGN.md §4.14). The
+// zero value — serial, pre-sized — is the default everyone gets.
+type ExecOptions struct {
+	// Workers bounds how many operator subtrees may execute
+	// concurrently: the consuming thread plus up to Workers-1
+	// background subtree runners. 0 and 1 mean fully serial execution,
+	// identical to an engine without the parallel machinery.
+	Workers int
+	// DisablePreSize turns off hash-table pre-sizing from row-count
+	// hints (the bench ablation knob); results are unaffected.
+	DisablePreSize bool
+}
+
+const (
+	// parBatchRows is how many tuples a background subtree hands over
+	// per channel send: large enough to amortize channel overhead,
+	// small enough to keep the pipeline busy.
+	parBatchRows = 256
+	// parBatchCap bounds in-flight batches per subtree, which bounds
+	// the prefetch memory a fast producer can pile up ahead of a slow
+	// consumer.
+	parBatchCap = 8
+)
+
+// parBatch is one producer→consumer handover: a run of tuples, with err
+// delivered after the rows it follows (mirroring serial order).
+type parBatch struct {
+	rows []data.Tuple
+	err  error
+}
+
+// parallelIter runs its input subtree on a background worker: the
+// child's Open — where scans apply selections, sorts drain, and hash
+// joins build — and its tuple stream both execute off the consuming
+// thread, handed over through a bounded channel in batches. Sibling
+// subtrees therefore open concurrently, and a chain of joins becomes a
+// pipeline of stages across workers. Order is preserved (single
+// producer, FIFO), so a parallel plan yields the same tuple sequence as
+// its serial twin — parallelism changes timing only.
+//
+// Worker slots come from a pool shared across the whole plan
+// (Compiler.sem). Acquisition is non-blocking: when every slot is busy
+// the iterator degrades to a pass-through, so a plan deeper than its
+// pool can never deadlock on itself. Slots are returned as soon as a
+// subtree is fully drained or cancelled, letting later subtrees of the
+// same plan reuse them.
+//
+// Open returns immediately; a failed child Open surfaces at the first
+// Next, and Schema/RowHint block until the background Open completes
+// (after which the child's schema fields are stable — Next never
+// mutates them).
+type parallelIter struct {
+	in  Iterator
+	sem chan struct{}
+
+	serial     bool // no slot was free: plain pass-through
+	serialOpen bool // serial path: child open
+	running    bool // background producer (open + drain) live
+	ch         chan parBatch
+	cancel     chan struct{}
+	openDone   chan struct{}
+	hint       int // child RowHint captured before openDone closes
+	hintOK     bool
+	cur        []data.Tuple
+	pos        int
+	pendErr    error
+	eof        bool
+}
+
+// waitOpen blocks until the background Open has completed (no-op on the
+// serial path or before Open).
+func (p *parallelIter) waitOpen() {
+	if p.running {
+		<-p.openDone
+	}
+}
+
+func (p *parallelIter) Schema() data.Schema {
+	p.waitOpen()
+	return p.in.Schema()
+}
+
+// RowHint reports the hint captured when the child opened, so consumers
+// never race the background drain into the child's state.
+func (p *parallelIter) RowHint() (int, bool) {
+	if p.running {
+		<-p.openDone
+		return p.hint, p.hintOK
+	}
+	return rowHint(p.in)
+}
+
+func (p *parallelIter) Open() error {
+	p.cur, p.pos, p.pendErr, p.eof, p.serial = nil, 0, nil, false, false
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		p.serial = true
+		if err := p.in.Open(); err != nil {
+			return err
+		}
+		p.serialOpen = true
+		return nil
+	}
+	p.ch = make(chan parBatch, parBatchCap)
+	p.cancel = make(chan struct{})
+	p.openDone = make(chan struct{})
+	p.running = true
+	go p.produce()
+	return nil
+}
+
+// produce opens the child and pulls it on the worker goroutine until
+// end of stream, error, or cancellation, then releases the worker slot.
+// It never touches p.in after closing the channel, which is what lets
+// Close safely close the child once the channel is drained.
+func (p *parallelIter) produce() {
+	// LIFO: the slot is released first, then the channel closes — so a
+	// consumer that sees the channel closed knows the slot is free.
+	defer close(p.ch)
+	defer func() { <-p.sem }()
+	err := p.in.Open()
+	if err == nil {
+		p.hint, p.hintOK = rowHint(p.in)
+	}
+	close(p.openDone)
+	send := func(b parBatch) bool {
+		select {
+		case p.ch <- b:
+			return true
+		case <-p.cancel:
+			return false
+		}
+	}
+	if err != nil {
+		send(parBatch{err: err})
+		return
+	}
+	batch := make([]data.Tuple, 0, parBatchRows)
+	for {
+		select {
+		case <-p.cancel:
+			return
+		default:
+		}
+		t, ok, err := p.in.Next()
+		if err != nil {
+			send(parBatch{rows: batch, err: err})
+			return
+		}
+		if !ok {
+			if len(batch) > 0 {
+				send(parBatch{rows: batch})
+			}
+			return
+		}
+		batch = append(batch, t)
+		if len(batch) == parBatchRows {
+			if !send(parBatch{rows: batch}) {
+				return
+			}
+			// The consumer owns the sent slice; start a fresh one.
+			batch = make([]data.Tuple, 0, parBatchRows)
+		}
+	}
+}
+
+func (p *parallelIter) Next() (data.Tuple, bool, error) {
+	if p.serial {
+		return p.in.Next()
+	}
+	for {
+		if p.pos < len(p.cur) {
+			t := p.cur[p.pos]
+			p.pos++
+			return t, true, nil
+		}
+		if p.pendErr != nil {
+			err := p.pendErr
+			p.pendErr = nil
+			p.eof = true
+			return nil, false, err
+		}
+		if p.eof {
+			return nil, false, nil
+		}
+		b, ok := <-p.ch
+		if !ok {
+			p.eof = true
+			return nil, false, nil
+		}
+		// Deliver the batch's rows before its trailing error, exactly
+		// as the serial execution would have.
+		p.cur, p.pos, p.pendErr = b.rows, 0, b.err
+	}
+}
+
+func (p *parallelIter) Close() error {
+	if p.running {
+		p.running = false
+		close(p.cancel)
+		// Drain until the producer closes the channel: after that it
+		// will never touch the child again. The child is closed whether
+		// its background Open succeeded or failed — Close is safe
+		// either way by the package invariant.
+		for range p.ch {
+		}
+		return p.in.Close()
+	}
+	if !p.serialOpen {
+		return nil
+	}
+	p.serialOpen = false
+	return p.in.Close()
+}

@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"prairie/internal/core"
+	"prairie/internal/data"
+)
+
+// threeWayJoinPlan builds Hash_join(Hash_join(C1, C2), C3) on the "a"
+// attributes — two independent subtrees under each join for the
+// parallel wrapper to pick up.
+func threeWayJoinPlan(tp *tinyProps) *core.Expr {
+	ops := planAlgebra()
+	scan := func(file string) *core.Expr {
+		return core.NewNode(ops["File_scan"], tp.desc(nil), core.NewLeaf(file, tp.desc(nil)))
+	}
+	jd := func(p *core.Pred) *core.Descriptor {
+		return tp.desc(func(d *core.Descriptor) { d.Set(tp.p.JP, p) })
+	}
+	inner := core.NewNode(ops["Hash_join"],
+		jd(core.EqAttr(core.A("C1", "a"), core.A("C2", "a"))),
+		scan("C1"), scan("C2"))
+	return core.NewNode(ops["Hash_join"],
+		jd(core.EqAttr(core.A("C2", "a"), core.A("C3", "a"))),
+		inner, scan("C3"))
+}
+
+func runPlan(t *testing.T, c *Compiler, plan *core.Expr) *Result {
+	t.Helper()
+	it, err := c.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelMatchesSerialExactly: with workers > 1 the engine must
+// produce the same tuples in the same order as the serial engine —
+// parallelism changes timing, never results.
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	db, _ := testDB()
+	tp := newTinyProps()
+	plan := threeWayJoinPlan(tp)
+
+	serial := runPlan(t, NewCompiler(db, tp.p), plan)
+	if len(serial.Rows) == 0 {
+		t.Fatal("empty join result (bad workload)")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		pc := NewCompiler(db, tp.p)
+		pc.Opts = ExecOptions{Workers: workers}
+		par := runPlan(t, pc, plan)
+		if len(par.Rows) != len(serial.Rows) {
+			t.Fatalf("workers=%d: %d rows vs %d serial", workers, len(par.Rows), len(serial.Rows))
+		}
+		for i := range par.Rows {
+			for col := range par.Rows[i] {
+				if !par.Rows[i][col].Equal(serial.Rows[i][col]) {
+					t.Fatalf("workers=%d: row %d differs from serial", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNoPreSizeMatches: the pre-sizing ablation knob must not
+// change results either.
+func TestParallelNoPreSizeMatches(t *testing.T) {
+	db, _ := testDB()
+	tp := newTinyProps()
+	plan := threeWayJoinPlan(tp)
+	serial := runPlan(t, NewCompiler(db, tp.p), plan)
+	c := NewCompiler(db, tp.p)
+	c.Opts = ExecOptions{Workers: 4, DisablePreSize: true}
+	if got := runPlan(t, c, plan); !SameBag(got, serial) {
+		t.Error("DisablePreSize changed the result")
+	}
+}
+
+// TestParallelIterStreamsAndCloses: a parallelIter over a mock drains
+// the same rows and closes its child exactly once.
+func TestParallelIterStreamsAndCloses(t *testing.T) {
+	// More rows than one batch to exercise batching.
+	vals := make([]int64, 3*parBatchRows+7)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	m := leftMock(vals...)
+	sem := make(chan struct{}, 1)
+	p := &parallelIter{in: m, sem: sem}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(vals) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(vals))
+	}
+	for i, r := range res.Rows {
+		if !r[0].Equal(data.IntD(vals[i])) {
+			t.Fatalf("row %d out of order", i)
+		}
+	}
+	checkPaired(t, m)
+	if len(sem) != 0 {
+		t.Error("worker slot not released")
+	}
+}
+
+// TestParallelIterErrorAfterRows: an error mid-stream is delivered
+// after the rows that preceded it, exactly as serial execution would.
+func TestParallelIterErrorAfterRows(t *testing.T) {
+	m := leftMock(1, 2, 3, 4, 5)
+	m.failNextAt = 3
+	p := &parallelIter{in: m, sem: make(chan struct{}, 1)}
+	if err := p.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	var err error
+	for {
+		var ok bool
+		_, ok, err = p.Next()
+		if err != nil || !ok {
+			break
+		}
+		got++
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected next") {
+		t.Fatalf("err = %v", err)
+	}
+	if got != 2 {
+		t.Errorf("rows before error = %d, want 2", got)
+	}
+	if cerr := p.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	checkPaired(t, m)
+}
+
+// TestParallelIterOpenFailure: a failing child Open surfaces directly
+// and acquires no worker slot.
+func TestParallelIterOpenFailure(t *testing.T) {
+	m := leftMock(1)
+	m.failOpen = true
+	sem := make(chan struct{}, 1)
+	p := &parallelIter{in: m, sem: sem}
+	if _, err := Run(p); err == nil || !strings.Contains(err.Error(), "injected open") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(sem) != 0 {
+		t.Error("slot leaked on open failure")
+	}
+	checkPaired(t, m)
+}
+
+// TestParallelIterPoolExhausted: with no free slot the iterator must
+// degrade to a pass-through (never deadlock) and still stream
+// correctly.
+func TestParallelIterPoolExhausted(t *testing.T) {
+	m := leftMock(1, 2, 3)
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{} // pool fully busy
+	p := &parallelIter{in: m, sem: sem}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.serial {
+		t.Error("exhausted pool did not degrade to pass-through")
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	checkPaired(t, m)
+}
+
+// TestParallelIterEarlyClose: closing mid-stream cancels the producer,
+// releases the slot, and closes the child — without deadlocking even
+// when the producer is blocked on a full channel.
+func TestParallelIterEarlyClose(t *testing.T) {
+	vals := make([]int64, 20*parBatchRows) // far more than the channel holds
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	m := leftMock(vals...)
+	sem := make(chan struct{}, 1)
+	p := &parallelIter{in: m, sem: sem}
+	if err := p.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := p.Next(); err != nil || !ok {
+		t.Fatalf("first tuple: ok=%v err=%v", ok, err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkPaired(t, m)
+	// The slot must be free again for the next subtree.
+	select {
+	case sem <- struct{}{}:
+	default:
+		t.Error("worker slot not released after early close")
+	}
+}
+
+// TestParallelIterRowHint: the wrapper passes its child's hint through
+// without racing the background drain.
+func TestParallelIterRowHint(t *testing.T) {
+	db, _ := testDB()
+	tab := db.MustTable("C1")
+	s := &scanIter{tab: tab, sel: core.TruePred}
+	p := &parallelIter{in: s, sem: make(chan struct{}, 1)}
+	if err := p.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n, ok := rowHint(p)
+	if !ok || n != len(tab.Rows) {
+		t.Errorf("hint = %d, %v; want %d", n, ok, len(tab.Rows))
+	}
+}
+
+// TestParallelJoinCloseDiscipline: injected failures inside a parallel
+// plan still leave every mock closed.
+func TestParallelJoinCloseDiscipline(t *testing.T) {
+	for _, inject := range []string{"none", "left-next", "right-next", "right-open"} {
+		t.Run(inject, func(t *testing.T) {
+			l, r := leftMock(1, 2, 3), rightMock(1, 2, 3)
+			switch inject {
+			case "left-next":
+				l.failNextAt = 2
+			case "right-next":
+				r.failNextAt = 2
+			case "right-open":
+				r.failOpen = true
+			}
+			sem := make(chan struct{}, 2)
+			j := &hashJoinIter{
+				l:       &parallelIter{in: l, sem: sem},
+				r:       &parallelIter{in: r, sem: sem},
+				pred:    mockJoinPred,
+				preSize: true,
+			}
+			_, err := Run(j)
+			if inject == "none" && err != nil {
+				t.Fatal(err)
+			}
+			if inject != "none" && err == nil {
+				t.Fatal("injected failure did not surface")
+			}
+			checkPaired(t, l, r)
+			if len(sem) != 0 {
+				t.Error("worker slots not all released")
+			}
+		})
+	}
+}

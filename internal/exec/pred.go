@@ -34,7 +34,13 @@ func EvalPred(p *core.Pred, s data.Schema, t data.Tuple) (bool, error) {
 		return false, nil
 	case core.PredNot:
 		ok, err := EvalPred(p.Kids[0], s, t)
-		return !ok, err
+		if err != nil {
+			// A failed evaluation must not read as a match: callers that
+			// check the boolean before the error would otherwise treat
+			// NOT(<error>) as true.
+			return false, err
+		}
+		return !ok, nil
 	}
 	// Comparison.
 	lc, ok := s.Col(p.Left)

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecBench smoke-runs the executor bench at a tiny scale: every
+// workload must verify (the sweep errors out on any engine/oracle
+// disagreement) and the table must carry the aggregate extras.
+func TestExecBench(t *testing.T) {
+	tab, err := ExecBench(Options{Rows: 64, Repeats: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 workloads", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Errorf("row %v has %d cells, header has %d", row, len(row), len(tab.Header))
+		}
+		if _, ok := tab.Extra["speedup/"+row[0]]; !ok {
+			t.Errorf("missing per-workload speedup extra for %s", row[0])
+		}
+	}
+	// The deepest chain skips the quadratic oracle.
+	for _, row := range tab.Rows {
+		if strings.HasSuffix(row[0], "n8") && row[2] != "-" {
+			t.Errorf("n8 naive column = %q, want '-'", row[2])
+		}
+		if !strings.HasSuffix(row[0], "n8") && row[2] == "-" {
+			t.Errorf("%s skipped the oracle", row[0])
+		}
+	}
+	for _, key := range []string{"speedup_geomean", "presize_off_overhead_pct"} {
+		if _, ok := tab.Extra[key]; !ok {
+			t.Errorf("missing aggregate extra %s", key)
+		}
+	}
+}

@@ -211,6 +211,12 @@ type Options struct {
 	// Draws is how many zipfian draws the repeat-workload experiment
 	// makes over its query pool (0 = 300).
 	Draws int
+	// Rows caps the per-class row count when the executor bench
+	// populates synthetic data (0 = 4096, the generator's largest
+	// class cardinality). Larger intermediates favor the parallel
+	// engine; the naive oracle is quadratic per join, so the deepest
+	// workloads skip it regardless.
+	Rows int
 
 	// agg accumulates the sweep's merged statistics; table functions
 	// initialize it and fold every run in (see observe/attach).
@@ -301,6 +307,13 @@ func (o Options) draws() int {
 		return o.Draws
 	}
 	return 300
+}
+
+func (o Options) rows() int {
+	if o.Rows > 0 {
+		return o.Rows
+	}
+	return 4096
 }
 
 func (o Options) repeats(n int) int {
