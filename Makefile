@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard exec-guard bench-json bench-serve bench-tier bench-exec fuzz-smoke cover ci experiments clean
+.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard exec-guard flight-guard bench-json bench-serve bench-tier bench-exec fuzz-smoke cover ci experiments clean
 
 all: ci
 
@@ -82,6 +82,19 @@ exec-guard:
 	done
 	@awk -v pct=$(GUARD_PCT) -v guard=exec-guard -f scripts/guard.awk /tmp/execguard.txt
 
+# Flight-recorder neutrality guard: a disabled recorder handle on the
+# serving path must be indistinguishable from no recorder at all —
+# TestFlightNeutral checks the answers are identical, the FlightGuard
+# benchmark checks the cost. The recorder's concurrent surfaces run
+# under the race detector via the server package's flight tests.
+flight-guard:
+	$(GO) test -race -run 'TestFlight' -timeout 300s ./internal/server
+	@rm -f /tmp/flightguard.txt
+	@for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test -run 'XXX' -bench 'FlightGuard' -benchtime 50x ./internal/server | tee -a /tmp/flightguard.txt || exit 1; \
+	done
+	@awk -v pct=$(GUARD_PCT) -v guard=flight-guard -f scripts/guard.awk /tmp/flightguard.txt
+
 # Archive the repeat-workload plan-cache benchmark (cold vs warm ns/op,
 # full-hit speedup, hit rate, warm-start pruning, allocs) for diffing
 # across revisions.
@@ -126,7 +139,7 @@ cover:
 	$(GO) test -timeout 600s -coverprofile=cover.out ./...
 	@awk -v floor=$(COVER_FLOOR) -f scripts/cover.awk cover.out
 
-ci: vet build race bench-smoke cache-guard tier-guard exec-guard fuzz-smoke cover
+ci: vet build race bench-smoke cache-guard tier-guard exec-guard flight-guard fuzz-smoke cover
 
 # Regenerate every paper table/figure (sequential, paper-faithful timing).
 experiments: build

@@ -93,7 +93,7 @@ func main() {
 		}
 	}
 	if *httpAddr != "" {
-		addr, closer, err := obs.Serve(*httpAddr, obs.NewMux(ob.Metrics, ob.Tracer))
+		addr, closer, err := obs.Serve(*httpAddr, obs.NewMux(ob.Metrics, ob.Tracer, nil))
 		if err != nil {
 			fail(err)
 		}

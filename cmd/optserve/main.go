@@ -3,7 +3,8 @@
 // prepared rule sets, with per-request budget classes, a shared
 // cross-query plan cache, admission control (429/503 + Retry-After load
 // shedding), per-request timeouts, and the observability surface of
-// internal/obs (/metrics, /vars, /trace, /debug/pprof/, /healthz).
+// internal/obs (/metrics, /vars, /trace, /debug/pprof/, /healthz, and
+// the per-request flight recorder on /v1/debug/requests).
 //
 // Usage:
 //
@@ -50,12 +51,21 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request optimization deadline (0 = 5s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "clamp on client-requested deadlines (0 = 30s)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "max wait for in-flight requests on shutdown")
+	flightCap := flag.Int("flight-capacity", 512, "flight-recorder retention: interesting requests kept for /v1/debug/requests (0 disables recording)")
+	flightSlow := flag.Duration("flight-slow", 0, "latency above which a request is retained as slow (0 = 250ms)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "optserve:", err)
 		os.Exit(1)
 	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	var dslSrc string
 	if *dsl != "" {
@@ -69,6 +79,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	metrics := obs.NewRegistry()
+	// A long-running server wants the newest trace events, not the first
+	// MaxEvents after boot.
+	tracer := obs.NewTracer()
+	tracer.DropOldest = true
+	flight := obs.NewFlightRecorderObserved(obs.FlightConfig{
+		Capacity:      *flightCap,
+		SlowThreshold: *flightSlow,
+	}, metrics)
 	srv, err := server.New(server.Config{
 		Registry:       reg,
 		CacheSize:      *cacheSize,
@@ -77,7 +96,9 @@ func main() {
 		QueueWait:      *queueWait,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
-		Obs:            &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()},
+		Obs:            &obs.Observer{Metrics: metrics, Tracer: tracer},
+		Flight:         flight,
+		Log:            logger,
 	})
 	if err != nil {
 		fail(err)
@@ -92,6 +113,8 @@ func main() {
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "optserve: serving %v on http://%s/ (budget classes via /v1/rulesets)\n",
 		reg.Names(), ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "worlds", reg.Names(),
+		"flight_capacity", *flightCap)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -100,13 +123,16 @@ func main() {
 		fail(err)
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "optserve: %v, draining (max %s)\n", sig, *drainWait)
+		logger.Info("draining", "signal", sig.String(), "max_wait", *drainWait)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "optserve: drain:", err)
+			logger.Warn("drain incomplete", "error", err)
 		}
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "optserve: shutdown:", err)
 		}
+		logger.Info("stopped")
 	}
 }

@@ -34,6 +34,10 @@ type Compiler struct {
 	// runners sharing one bounded worker pool.
 	Opts ExecOptions
 	sem  chan struct{}
+	// curParent threads operator identity to child Compile frames when
+	// Opts.Stats is attached: the in-construction operator's stats id
+	// plus one (0 = compiling the root).
+	curParent int
 }
 
 // NewCompiler returns a compiler with the standard algorithm builders
@@ -74,7 +78,23 @@ func (c *Compiler) Compile(plan *core.Expr) (Iterator, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: no builder for algorithm %s", plan.Op.Name)
 	}
-	return b(c, plan)
+	if c.Opts.Stats == nil {
+		return b(c, plan)
+	}
+	// Stats collection: register this operator before building its
+	// inputs (so parents precede children in the report), build the
+	// subtree with curParent pointing here, then interpose the counting
+	// shim. The shim forwards RowHint, so pre-sizing is unaffected.
+	si := c.Opts.Stats.register(plan.Op.Name, c.curParent)
+	saved := c.curParent
+	c.curParent = si.id + 1
+	it, err := b(c, plan)
+	c.curParent = saved
+	if err != nil {
+		return nil, err
+	}
+	si.in = it
+	return si, nil
 }
 
 // table resolves a plan leaf to its stored table.
@@ -166,10 +186,10 @@ func (c *Compiler) joinInputs(node *core.Expr) (l, r Iterator, pred *core.Pred, 
 		// the probe side pre-computes, and a chain of joins becomes a
 		// pipeline of stages across workers.
 		if worthBackgrounding(node.Kids[0]) {
-			l = &parallelIter{in: l, sem: c.sem}
+			l = &parallelIter{in: l, sem: c.sem, st: statsOf(l)}
 		}
 		if worthBackgrounding(node.Kids[1]) {
-			r = &parallelIter{in: r, sem: c.sem}
+			r = &parallelIter{in: r, sem: c.sem, st: statsOf(r)}
 		}
 	}
 	pred = c.pred(node.D, c.P.JP)

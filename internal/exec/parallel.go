@@ -13,6 +13,11 @@ type ExecOptions struct {
 	// DisablePreSize turns off hash-table pre-sizing from row-count
 	// hints (the bench ablation knob); results are unaffected.
 	DisablePreSize bool
+	// Stats, when set, makes Compile wrap every operator in a
+	// per-operator runtime-stats collector (rows, batches, Open/Next
+	// time, pool-slot outcome) for the flight recorder. nil — the
+	// default — compiles the exact same iterator tree as before.
+	Stats *ExecStats
 }
 
 const (
@@ -56,6 +61,10 @@ type parBatch struct {
 type parallelIter struct {
 	in  Iterator
 	sem chan struct{}
+	// st is the wrapped subtree's stats shim when collection is on: Open
+	// stamps the slot outcome ("background" / "pass-through") and the
+	// producer counts channel handovers into it. nil when stats are off.
+	st *statsIter
 
 	serial     bool // no slot was free: plain pass-through
 	serialOpen bool // serial path: child open
@@ -100,11 +109,19 @@ func (p *parallelIter) Open() error {
 	case p.sem <- struct{}{}:
 	default:
 		p.serial = true
+		if p.st != nil {
+			p.st.parallel = "pass-through"
+		}
 		if err := p.in.Open(); err != nil {
 			return err
 		}
 		p.serialOpen = true
 		return nil
+	}
+	if p.st != nil {
+		// Stamped before the producer starts, so the write is ordered
+		// ahead of everything the background goroutine does.
+		p.st.parallel = "background"
 	}
 	p.ch = make(chan parBatch, parBatchCap)
 	p.cancel = make(chan struct{})
@@ -131,6 +148,9 @@ func (p *parallelIter) produce() {
 	send := func(b parBatch) bool {
 		select {
 		case p.ch <- b:
+			if p.st != nil && len(b.rows) > 0 {
+				p.st.batches++
+			}
 			return true
 		case <-p.cancel:
 			return false

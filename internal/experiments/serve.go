@@ -112,11 +112,19 @@ func ServeLoad(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-phase latency needs a metrics registry and the flight recorder
+	// (phase timing is off without it); run observed even when the
+	// caller didn't ask for metrics.
+	ob := opts.Obs
+	if ob.MetricsOrNil() == nil {
+		ob = &obs.Observer{Metrics: obs.NewRegistry(), Tracer: ob.TracerOrNil()}
+	}
 	srv, err := server.New(server.Config{
 		Registry:    reg,
 		CacheSize:   opts.cacheSize(),
 		MaxInflight: workers,
-		Obs:         opts.Obs,
+		Obs:         ob,
+		Flight:      obs.NewFlightRecorderObserved(obs.FlightConfig{Capacity: 256}, ob.MetricsOrNil()),
 	})
 	if err != nil {
 		return nil, err
@@ -242,6 +250,16 @@ func ServeLoad(opts Options) (*Table, error) {
 		return nil, fmt.Errorf("experiments: serve: %d warm plans differ from their cold reference", mismatches)
 	}
 
+	// Execute pass: run each pool query once with "execute": true so the
+	// exec phase (compile + run on the generated demo data) contributes
+	// to the per-phase breakdown.
+	for _, rq := range reqs {
+		rq.Execute = true
+		if s := serveClient(client, url, rq); s.err != nil {
+			return nil, fmt.Errorf("experiments: serve execute %s: %w", rq.Query, s.err)
+		}
+	}
+
 	coldLats := sortedLats(cold)
 	warmLats := sortedLats(warm)
 	coldP50 := percentile(coldLats, 0.50)
@@ -284,6 +302,23 @@ func ServeLoad(opts Options) (*Table, error) {
 	}
 	if warmP50 > 0 {
 		t.Extra["speedup_p50"] = float64(coldP50) / float64(warmP50)
+	}
+	// Per-phase latency breakdown from the server's flight-recorder-fed
+	// histograms: where a request's time actually went, server-side.
+	mreg := ob.MetricsOrNil()
+	for _, p := range []struct{ metric, key string }{
+		{"prairie_phase_admission_seconds", "phase_admission"},
+		{"prairie_phase_cache_seconds", "phase_cache"},
+		{"prairie_phase_greedy_seconds", "phase_greedy"},
+		{"prairie_phase_full_seconds", "phase_full"},
+		{"prairie_phase_exec_seconds", "phase_exec"},
+	} {
+		h := mreg.Histogram(p.metric, nil)
+		if h.Count() == 0 {
+			continue
+		}
+		t.Extra[p.key+"_p50_us"] = h.Quantile(0.50) * 1e6
+		t.Extra[p.key+"_p99_us"] = h.Quantile(0.99) * 1e6
 	}
 	opts.attach(t)
 	return t, nil

@@ -9,9 +9,12 @@ import (
 
 // NewMux builds the exposition surface: Prometheus text at /metrics, a
 // JSON snapshot at /vars, the standard net/http/pprof handlers under
-// /debug/pprof/, and — when a tracer is attached — the current span
-// buffer in Chrome trace_event format at /trace.
-func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// /debug/pprof/, when a tracer is attached the current span buffer in
+// Chrome trace_event format at /trace, and — when an enabled flight
+// recorder is attached — the retained request records at
+// /v1/debug/requests (index) and /v1/debug/requests/{id} (full record;
+// ?format=trace exports one request as a Chrome trace).
+func NewMux(reg *Registry, tr *Tracer, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -32,6 +35,10 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			_ = tr.WriteChrome(w)
 		})
 	}
+	if fr.Enabled() {
+		mux.HandleFunc("/v1/debug/requests", fr.handleIndex)
+		mux.HandleFunc("/v1/debug/requests/", fr.handleGet)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -43,6 +50,9 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 		}
 		if tr != nil {
 			fmt.Fprintln(w, "  /trace")
+		}
+		if fr.Enabled() {
+			fmt.Fprintln(w, "  /v1/debug/requests")
 		}
 	})
 	return mux

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerLevelsAndShape(t *testing.T) {
+	var b bytes.Buffer
+	lg := NewLogger(&b, LevelWarn)
+	lg.Debug("nope")
+	lg.Info("nope")
+	lg.Warn("queued", "depth", 7)
+	lg.Error("boom", "err", errors.New("bad"), "took", 1500*time.Microsecond)
+
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (below-min levels filtered):\n%s", len(lines), b.String())
+	}
+	var warn, errRec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &warn); err != nil {
+		t.Fatalf("warn line not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &errRec); err != nil {
+		t.Fatalf("error line not JSON: %v", err)
+	}
+	if warn["level"] != "warn" || warn["msg"] != "queued" || warn["depth"] != float64(7) {
+		t.Fatalf("warn = %v", warn)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, warn["ts"].(string)); err != nil {
+		t.Fatalf("ts not RFC3339Nano: %v", err)
+	}
+	// Errors and durations render as strings.
+	if errRec["err"] != "bad" || errRec["took"] != "1.5ms" {
+		t.Fatalf("error = %v", errRec)
+	}
+}
+
+func TestLoggerBadKeyAndNil(t *testing.T) {
+	var b bytes.Buffer
+	lg := NewLogger(&b, LevelDebug)
+	lg.Info("odd", "dangling")
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(b.Bytes()), &rec); err != nil {
+		t.Fatalf("odd-kv line not JSON: %v\n%s", err, b.String())
+	}
+	if rec["!BADKEY"] != "dangling" {
+		t.Fatalf("odd trailing key not flagged: %v", rec)
+	}
+
+	var nilLogger *Logger
+	nilLogger.Info("ignored", "k", "v") // must not panic
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"": LevelInfo, "info": LevelInfo, "debug": LevelDebug,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+		"ERROR": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}

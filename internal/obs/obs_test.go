@@ -178,14 +178,22 @@ func TestTracerExportAndCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("jsonl lines = %d, want 3", len(lines))
+	// 3 retained events plus the trailing dropped_events marker.
+	if len(lines) != 4 {
+		t.Fatalf("jsonl lines = %d, want 4", len(lines))
 	}
 	for _, ln := range lines {
 		var ev TraceEvent
 		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
 			t.Fatalf("jsonl line %q: %v", ln, err)
 		}
+	}
+	var marker TraceEvent
+	if err := json.Unmarshal([]byte(lines[3]), &marker); err != nil {
+		t.Fatal(err)
+	}
+	if marker.Name != "dropped_events" || marker.Args["count"] != float64(1) {
+		t.Fatalf("missing dropped_events marker, got %+v", marker)
 	}
 }
 
@@ -194,7 +202,7 @@ func TestServeExposition(t *testing.T) {
 	reg.Counter("prairie_optimize_total").Add(2)
 	tr := NewTracer()
 	tr.Instant(1, "x", "t")
-	addr, closeFn, err := Serve("127.0.0.1:0", NewMux(reg, tr))
+	addr, closeFn, err := Serve("127.0.0.1:0", NewMux(reg, tr, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

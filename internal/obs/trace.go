@@ -33,10 +33,20 @@ const DefaultMaxEvents = 1 << 20
 type Tracer struct {
 	// MaxEvents overrides DefaultMaxEvents when set before recording.
 	MaxEvents int
+	// DropOldest switches the retention policy at the cap: false — the
+	// default, right for bounded bench traces — keeps the first
+	// MaxEvents events and drops new ones; true turns the buffer into a
+	// ring that overwrites the oldest events, which is what a
+	// long-running server wants (the recent past matters, startup noise
+	// does not). Set before recording. Either way, Dropped counts the
+	// events no longer in the buffer, and both expositions carry the
+	// count.
+	DropOldest bool
 
 	mu      sync.Mutex
 	start   time.Time
 	events  []TraceEvent
+	head    int // ring start when DropOldest has wrapped the buffer
 	dropped int64
 }
 
@@ -53,10 +63,15 @@ func (t *Tracer) append(ev TraceEvent) {
 	if max <= 0 {
 		max = DefaultMaxEvents
 	}
-	if len(t.events) >= max {
-		t.dropped++
-	} else {
+	switch {
+	case len(t.events) < max:
 		t.events = append(t.events, ev)
+	case t.DropOldest:
+		t.events[t.head] = ev
+		t.head = (t.head + 1) % len(t.events)
+		t.dropped++
+	default:
+		t.dropped++
 	}
 	t.mu.Unlock()
 }
@@ -146,32 +161,46 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
-// snapshot copies the event buffer for export without holding the lock
-// during encoding.
-func (t *Tracer) snapshot() []TraceEvent {
+// snapshot copies the event buffer — unrolled into chronological order
+// when the ring has wrapped — for export without holding the lock
+// during encoding. The second return is the dropped count consistent
+// with the copied events.
+func (t *Tracer) snapshot() ([]TraceEvent, int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]TraceEvent, len(t.events))
-	copy(out, t.events)
-	return out
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out, t.dropped
 }
 
-// WriteJSONL writes one event per line (JSON-lines). Nil-safe.
+// WriteJSONL writes one event per line (JSON-lines); when events were
+// dropped at the cap, a trailing metadata event carries the count.
+// Nil-safe.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	events, dropped := t.snapshot()
 	enc := json.NewEncoder(w)
-	for _, ev := range t.snapshot() {
+	for _, ev := range events {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}
+	}
+	if dropped > 0 {
+		return enc.Encode(TraceEvent{
+			Name: "dropped_events", Ph: "M", PID: 1,
+			Args: map[string]any{"count": dropped},
+		})
 	}
 	return nil
 }
 
 // WriteChrome writes the buffer in the Chrome trace_event JSON object
 // format; the file loads directly in chrome://tracing and Perfetto.
+// Events dropped at the cap are reported in the top-level
+// droppedEvents field.
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	if t == nil {
 		return nil
@@ -179,7 +208,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	type chromeTrace struct {
 		TraceEvents     []TraceEvent `json:"traceEvents"`
 		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		DroppedEvents   int64        `json:"droppedEvents,omitempty"`
 	}
+	events, dropped := t.snapshot()
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: t.snapshot(), DisplayTimeUnit: "ms"})
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms", DroppedEvents: dropped})
 }

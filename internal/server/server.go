@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prairie/internal/exec"
 	"prairie/internal/obs"
 	"prairie/internal/volcano"
 )
@@ -60,6 +61,22 @@ type Config struct {
 	// Obs attaches metrics/tracing; nil serves /metrics from an empty
 	// registry.
 	Obs *obs.Observer
+	// Flight is the request flight recorder behind /v1/debug/requests.
+	// nil — or a zero-capacity recorder — disables all per-request
+	// recording and phase timing, keeping the request path byte-identical
+	// to a build without the recorder.
+	Flight *obs.FlightRecorder
+	// Log receives structured request/drain/refinement logs; nil
+	// disables logging.
+	Log *obs.Logger
+	// ExecRows sizes each generated table of a world's demo database
+	// when a request sets "execute": true; 0 = 64.
+	ExecRows int
+	// ExecSeed seeds the generated demo data; 0 = 101.
+	ExecSeed int64
+	// ExecWorkers bounds executor parallelism for executed requests;
+	// 0 = GOMAXPROCS, negative = serial.
+	ExecWorkers int
 }
 
 func (c *Config) maxInflight() int {
@@ -111,6 +128,30 @@ func (c *Config) maxBatchItems() int {
 	return 256
 }
 
+func (c *Config) execRows() int {
+	if c.ExecRows > 0 {
+		return c.ExecRows
+	}
+	return 64
+}
+
+func (c *Config) execSeed() int64 {
+	if c.ExecSeed != 0 {
+		return c.ExecSeed
+	}
+	return 101
+}
+
+func (c *Config) execWorkers() int {
+	switch {
+	case c.ExecWorkers > 0:
+		return c.ExecWorkers
+	case c.ExecWorkers < 0:
+		return 0
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (c *Config) cacheSize() int {
 	switch {
 	case c.CacheSize > 0:
@@ -150,6 +191,7 @@ type Server struct {
 	inflightN    int
 	draining     atomic.Bool
 	mux          *http.ServeMux
+	started      time.Time
 
 	// metrics (nil registry → nil metrics, every sink is nil-safe)
 	mRequests  *obs.Counter
@@ -162,6 +204,11 @@ type Server struct {
 	mDrained   *obs.Counter
 	hLatency   *obs.Histogram
 	hQueueWait *obs.Histogram
+	// hPhase holds the per-phase latency histograms
+	// (prairie_phase_<phase>_seconds); populated only with a metrics
+	// registry, and fed only for flight-recorded requests — phase
+	// timing is off whenever the recorder is.
+	hPhase map[obs.Phase]*obs.Histogram
 }
 
 // New builds a Server over cfg.Registry.
@@ -181,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.maxInflight()),
 	}
 	s.inflightCond = sync.NewCond(&s.inflightMu)
+	s.started = time.Now()
 	if reg := cfg.Obs.MetricsOrNil(); reg != nil {
 		s.mRequests = reg.Counter("prairie_server_requests_total")
 		s.mShed429 = reg.Counter("prairie_server_shed_queue_full_total")
@@ -192,6 +240,14 @@ func New(cfg Config) (*Server, error) {
 		s.mDrained = reg.Counter("prairie_server_drain_refused_total")
 		s.hLatency = reg.Histogram("prairie_server_optimize_seconds", nil)
 		s.hQueueWait = reg.Histogram("prairie_server_queue_wait_seconds", nil)
+		s.hPhase = map[obs.Phase]*obs.Histogram{
+			obs.PhaseAdmission: reg.Histogram("prairie_phase_admission_seconds", nil),
+			obs.PhaseCache:     reg.Histogram("prairie_phase_cache_seconds", nil),
+			obs.PhaseGreedy:    reg.Histogram("prairie_phase_greedy_seconds", nil),
+			obs.PhaseFull:      reg.Histogram("prairie_phase_full_seconds", nil),
+			obs.PhaseRefine:    reg.Histogram("prairie_phase_refine_seconds", nil),
+			obs.PhaseExec:      reg.Histogram("prairie_phase_exec_seconds", nil),
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/optimize", s.guard(s.handleOptimize))
@@ -201,8 +257,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	// Observability exposition: delegate to the obs mux so the service
 	// surface and the standalone exposition stay identical.
-	om := obs.NewMux(cfg.Obs.MetricsOrNil(), cfg.Obs.TracerOrNil())
-	for _, p := range []string{"/metrics", "/vars", "/trace", "/debug/pprof/"} {
+	om := obs.NewMux(cfg.Obs.MetricsOrNil(), cfg.Obs.TracerOrNil(), cfg.Flight)
+	paths := []string{"/metrics", "/vars", "/trace", "/debug/pprof/"}
+	if cfg.Flight.Enabled() {
+		paths = append(paths, "/v1/debug/requests", "/v1/debug/requests/")
+	}
+	for _, p := range paths {
 		s.mux.Handle(p, om)
 	}
 	return s, nil
@@ -306,17 +366,18 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 // admit implements admission control: a free slot is taken immediately;
 // otherwise the request queues, bounded in count by MaxQueue (shed 429)
 // and in time by QueueWait (shed 503). The returned release must be
-// called when the optimization finishes.
-func (s *Server) admit(ctx context.Context) (release func(), code int, err error) {
+// called when the optimization finishes; wait is how long the request
+// queued before the outcome either way.
+func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration, code int, err error) {
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, 0, nil
+		return func() { <-s.sem }, 0, 0, nil
 	default:
 	}
 	if n := s.waiting.Add(1); n > int64(s.cfg.maxQueue()) {
 		s.waiting.Add(-1)
 		s.mShed429.Inc()
-		return nil, http.StatusTooManyRequests,
+		return nil, 0, http.StatusTooManyRequests,
 			fmt.Errorf("queue full (%d waiting)", n-1)
 	}
 	defer s.waiting.Add(-1)
@@ -325,38 +386,96 @@ func (s *Server) admit(ctx context.Context) (release func(), code int, err error
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
-		s.hQueueWait.Observe(time.Since(start).Seconds())
-		return func() { <-s.sem }, 0, nil
+		wait = time.Since(start)
+		s.hQueueWait.Observe(wait.Seconds())
+		return func() { <-s.sem }, wait, 0, nil
 	case <-t.C:
 		s.mShed503.Inc()
-		return nil, http.StatusServiceUnavailable,
+		return nil, time.Since(start), http.StatusServiceUnavailable,
 			fmt.Errorf("no slot within %s", s.cfg.queueWait())
 	case <-ctx.Done():
 		// Client gone; nothing useful to send, but the handler needs a
 		// status. 503 keeps the semantics "not processed".
-		return nil, http.StatusServiceUnavailable, ctx.Err()
+		return nil, time.Since(start), http.StatusServiceUnavailable, ctx.Err()
 	}
 }
 
 // begin performs the shared request preamble: drain gate + admission.
-// ok=false means the response has been written.
-func (s *Server) begin(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+// ok=false means the response has been written (and rec, when present,
+// completed as shed).
+func (s *Server) begin(w http.ResponseWriter, r *http.Request, rec *obs.RequestRecord) (release func(), ok bool) {
 	s.mRequests.Inc()
 	if !s.track() {
 		s.mDrained.Inc()
 		s.shed(w, http.StatusServiceUnavailable, "server draining", time.Second)
+		s.finish(rec, http.StatusServiceUnavailable, "shed", "server draining")
 		return nil, false
 	}
-	rel, code, err := s.admit(r.Context())
+	admitStart := time.Now()
+	rel, wait, code, err := s.admit(r.Context())
+	rec.SetAdmissionWait(admitStart, wait)
 	if err != nil {
 		s.untrack()
 		s.shed(w, code, err.Error(), s.cfg.queueWait())
+		s.finish(rec, code, "shed", err.Error())
 		return nil, false
 	}
 	return func() {
 		rel()
 		s.untrack()
 	}, true
+}
+
+// finish classifies and completes a flight record, feeds the per-phase
+// latency histograms, and emits the structured request log. nil-safe;
+// call it exactly once per recorded request, after the response is
+// written.
+func (s *Server) finish(rec *obs.RequestRecord, status int, outcome, errMsg string) {
+	if rec == nil {
+		return
+	}
+	rec.Status = status
+	rec.Outcome = outcome
+	rec.Error = errMsg
+	s.cfg.Flight.Complete(rec)
+	for _, sp := range rec.PhaseClock().Spans() {
+		if sp.Phase == obs.PhaseRefine {
+			// Refinements usually outlive the request; the refinement
+			// callback observes their histogram when they land.
+			continue
+		}
+		if h := s.hPhase[sp.Phase]; h != nil {
+			h.Observe(float64(sp.DurUS) / 1e6)
+		}
+	}
+	if lg := s.cfg.Log; lg != nil {
+		kv := []any{"request_id", rec.ID, "endpoint", rec.Endpoint,
+			"status", status, "outcome", outcome, "elapsed_us", rec.ElapsedUS}
+		if errMsg != "" {
+			kv = append(kv, "error", errMsg)
+		}
+		switch {
+		case outcome == "error":
+			lg.Error("request", kv...)
+		case outcome != "ok":
+			lg.Warn("request", kv...)
+		default:
+			lg.Debug("request", kv...)
+		}
+	}
+}
+
+// record begins the flight record of one request and stamps the
+// correlation headers; nil when the recorder is disabled.
+func (s *Server) record(w http.ResponseWriter, r *http.Request, endpoint string) *obs.RequestRecord {
+	rec := s.cfg.Flight.Begin(r.Header.Get("traceparent"))
+	if rec == nil {
+		return nil
+	}
+	rec.Endpoint = endpoint
+	w.Header().Set("X-Request-Id", rec.ID)
+	w.Header().Set("Traceparent", rec.TraceParent())
+	return rec
 }
 
 // OptimizeRequest is the wire request of /v1/optimize.
@@ -376,6 +495,12 @@ type OptimizeRequest struct {
 	// IncludePlan asks for the full serialized plan tree in addition to
 	// the textual rendering.
 	IncludePlan bool `json:"include_plan,omitempty"`
+	// Execute asks the server to also run the winning plan on the
+	// world's generated demo database and report the executed row count
+	// (worlds without a catalog refuse). With the flight recorder on,
+	// the execution contributes per-operator runtime stats to the
+	// request's record.
+	Execute bool `json:"execute,omitempty"`
 }
 
 // StatsSummary is the per-request slice of volcano.Stats the service
@@ -413,6 +538,19 @@ type OptimizeResponse struct {
 	FullCost    float64      `json:"full_cost,omitempty"`
 	ElapsedUS   int64        `json:"elapsed_us"`
 	Stats       StatsSummary `json:"stats"`
+	// Exec reports the executed plan's runtime when the request set
+	// "execute": true.
+	Exec *ExecSummary `json:"exec,omitempty"`
+	// RequestID correlates the response with its flight record
+	// (/v1/debug/requests/{id}); present only when the recorder is on.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ExecSummary is the wire rendering of an executed plan's runtime.
+type ExecSummary struct {
+	Rows      int   `json:"rows"`
+	Workers   int   `json:"workers"`
+	ElapsedUS int64 `json:"elapsed_us"`
 }
 
 // timeout resolves and clamps the effective request deadline.
@@ -430,7 +568,7 @@ func (s *Server) timeout(ms int64) time.Duration {
 // optimizeOne runs one prepared request on a fresh optimizer (the
 // optimizer is single-use; the rule set, cache and observer are the
 // shared state).
-func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequest) (*OptimizeResponse, int, error) {
+func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequest, rec *obs.RequestRecord) (*OptimizeResponse, int, error) {
 	budget, ok := s.budgets[budgetName(req.Budget)]
 	if !ok {
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown budget class %q", req.Budget)
@@ -443,6 +581,7 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	rec.SetRequestInfo(world.Name, req.Query.String(), budgetName(req.Budget))
 	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
 	defer cancel()
 
@@ -452,6 +591,10 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 	opt.Opts.Cache = s.cache
 	opt.Opts.Tier = tier
 	opt.Opts.Router = s.router
+	opt.Opts.Phases = rec.PhaseClock() // nil clock when unrecorded: timing off
+	if rec != nil || s.cfg.Log != nil {
+		opt.Opts.OnRefine = s.refineHook(rec)
+	}
 	start := time.Now()
 	plan, err := opt.OptimizeContext(ctx, tree, want)
 	elapsed := time.Since(start)
@@ -461,6 +604,9 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 		// failed whole; no partial plan ever leaves the server.
 		return nil, http.StatusUnprocessableEntity, err
 	}
+	if rec != nil {
+		s.recordOutcome(rec, tier, opt.Stats)
+	}
 	resp := s.buildResponse(world, req.Query, plan, opt.Stats, elapsed.Microseconds())
 	if req.IncludePlan {
 		resp.Plan, err = EncodePlan(plan)
@@ -468,7 +614,128 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 			return nil, http.StatusInternalServerError, err
 		}
 	}
+	if req.Execute {
+		sum, code, err := s.executePlan(world, plan, rec)
+		if err != nil {
+			return nil, code, err
+		}
+		resp.Exec = sum
+	}
 	return resp, http.StatusOK, nil
+}
+
+// refineHook builds the OnRefine callback that links a background tier
+// refinement back to the request that spawned it: the refinement
+// section lands in rec (even after the request completed), the refine
+// histogram gets its span, and the structured log notes the outcome.
+func (s *Server) refineHook(rec *obs.RequestRecord) func(volcano.RefineOutcome) {
+	return func(out volcano.RefineOutcome) {
+		if h := s.hPhase[obs.PhaseRefine]; h != nil && rec != nil {
+			h.Observe(out.Elapsed.Seconds())
+		}
+		rec.AttachRefinement(obs.RefinementInfo{
+			Outcome:    out.Outcome,
+			GreedyCost: out.GreedyCost,
+			FullCost:   out.FullCost,
+			ElapsedUS:  out.Elapsed.Microseconds(),
+		})
+		if lg := s.cfg.Log; lg != nil {
+			id := ""
+			if rec != nil {
+				id = rec.ID
+			}
+			lg.Debug("refinement", "request_id", id, "outcome", out.Outcome,
+				"greedy_cost", out.GreedyCost, "full_cost", out.FullCost,
+				"elapsed_us", out.Elapsed.Microseconds())
+		}
+	}
+}
+
+// recordOutcome copies one finished optimization's cache, tier, and
+// search outcome into its flight record.
+func (s *Server) recordOutcome(rec *obs.RequestRecord, tier volcano.TierMode, st *volcano.Stats) {
+	outcome := "miss"
+	switch {
+	case !s.cache.Enabled():
+		outcome = "bypass"
+	case st.FlightShared > 0:
+		outcome = "flight-collapsed"
+	case st.CacheHits > 0 && st.CacheMisses == 0:
+		outcome = "hit"
+	}
+	rec.SetCache(outcome, s.cache.Epoch(), st.WarmSeeds)
+	served := st.Tier
+	if served == "" {
+		served = volcano.TierFull.String()
+	}
+	ti := obs.TierInfo{
+		Requested:  tier.String(),
+		Served:     served,
+		Refined:    st.Refined,
+		GreedyCost: st.GreedyCost,
+		FullCost:   st.FullCost,
+	}
+	if st.TierRouted != "" {
+		ti.Routed = st.TierRouted
+		ti.Class = fmt.Sprintf("%016x", st.TierClass)
+		if n, b, ok := s.router.ClassState(st.TierClass); ok {
+			ti.RouterSamples, ti.RouterBenefit = n, b
+		}
+	}
+	rec.SetTier(ti)
+	si := obs.SearchInfo{
+		Groups:       st.Groups,
+		Exprs:        st.Exprs,
+		TransFired:   sumCounts(st.TransFired),
+		ImplFired:    sumCounts(st.ImplFired),
+		CostedPlans:  st.CostedPlans,
+		BudgetChecks: st.BudgetChecks,
+		Degraded:     st.Degraded,
+	}
+	if st.Degraded {
+		si.DegradeCause = st.DegradeCause.String()
+		si.DegradePath = st.DegradePath
+	}
+	rec.SetSearch(si)
+}
+
+// executePlan runs a winning plan on the world's demo database and, for
+// recorded requests, lands the per-operator runtime stats in the flight
+// record.
+func (s *Server) executePlan(world *World, plan *volcano.PExpr, rec *obs.RequestRecord) (*ExecSummary, int, error) {
+	db := world.ExecDB(s.cfg.execSeed(), s.cfg.execRows())
+	if db == nil {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("world %s has no catalog; cannot execute plans", world.Name)
+	}
+	comp := exec.NewCompiler(db, world.ExecProps)
+	comp.Opts = exec.ExecOptions{Workers: s.cfg.execWorkers()}
+	var st *exec.ExecStats
+	if rec != nil {
+		st = &exec.ExecStats{}
+		comp.Opts.Stats = st
+	}
+	began := time.Now()
+	it, err := comp.Compile(plan.ToExpr())
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("execute: %w", err)
+	}
+	res, err := exec.Run(it)
+	elapsed := time.Since(began)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("execute: %w", err)
+	}
+	sum := &ExecSummary{Rows: len(res.Rows), Workers: comp.Opts.Workers, ElapsedUS: elapsed.Microseconds()}
+	if rec != nil {
+		rec.PhaseClock().Observe(obs.PhaseExec, began, elapsed)
+		rec.SetExec(obs.ExecInfo{
+			Rows:      sum.Rows,
+			Workers:   sum.Workers,
+			ElapsedUS: sum.ElapsedUS,
+			Ops:       st.Report(),
+		})
+	}
+	return sum, 0, nil
 }
 
 // buildResponse renders one optimization outcome as its wire response;
@@ -552,18 +819,28 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown ruleset %q", req.Ruleset)})
 		return
 	}
-	release, ok := s.begin(w, r)
+	rec := s.record(w, r, "/v1/optimize")
+	release, ok := s.begin(w, r, rec)
 	if !ok {
 		return
 	}
 	defer release()
-	resp, code, err := s.optimizeOne(r.Context(), world, req)
+	resp, code, err := s.optimizeOne(r.Context(), world, req, rec)
 	if err != nil {
 		s.mErrors.Inc()
 		writeJSON(w, code, errorBody{Error: err.Error()})
+		s.finish(rec, code, "error", err.Error())
 		return
 	}
+	if rec != nil {
+		resp.RequestID = rec.ID
+	}
 	writeJSON(w, code, resp)
+	outcome := "ok"
+	if resp.Degraded {
+		outcome = "degraded"
+	}
+	s.finish(rec, code, outcome, "")
 }
 
 // BatchRequest is the wire request of /v1/batch: many optimize items
@@ -647,7 +924,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Timeout: s.timeout(it.TimeoutMS),
 		}
 	}
-	release, ok := s.begin(w, r)
+	rec := s.record(w, r, "/v1/batch")
+	rec.SetRequestInfo("", fmt.Sprintf("batch[%d]", len(req.Items)), "")
+	release, ok := s.begin(w, r, rec)
 	if !ok {
 		return
 	}
@@ -684,6 +963,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = BatchItemResponse{OptimizeResponse: item}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	outcome := "ok"
+	if resp.Degraded > 0 {
+		outcome = "degraded"
+	}
+	s.finish(rec, http.StatusOK, outcome, "")
 }
 
 // rulesetInfo describes one servable world on /v1/rulesets.
@@ -720,10 +1004,32 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": epoch})
 }
 
+// healthBody is the /healthz response: liveness plus the handful of
+// gauges an operator checks first when the service misbehaves.
+type healthBody struct {
+	Status     string `json:"status"`
+	UptimeS    int64  `json:"uptime_s"`
+	Inflight   int    `json:"inflight"`
+	QueueDepth int64  `json:"queue_depth"`
+	Draining   bool   `json:"draining"`
+	CacheEpoch uint64 `json:"cache_epoch"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	s.inflightMu.Lock()
+	inflight := s.inflightN
+	s.inflightMu.Unlock()
+	body := healthBody{
+		Status:     "ok",
+		UptimeS:    int64(time.Since(s.started).Seconds()),
+		Inflight:   inflight,
+		QueueDepth: s.waiting.Load(),
+		CacheEpoch: s.cache.Epoch(),
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	code := http.StatusOK
+	if s.draining.Load() {
+		body.Status, body.Draining = "draining", true
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }

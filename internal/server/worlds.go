@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"prairie/internal/catalog"
 	"prairie/internal/core"
+	"prairie/internal/data"
 	"prairie/internal/exec"
 	"prairie/internal/oodb"
 	"prairie/internal/p2v"
@@ -36,6 +38,22 @@ type World struct {
 	ExecProps exec.Props
 	// MaxN bounds QuerySpec.N for this world.
 	MaxN int
+
+	// execOnce/execDB lazily populate the world's demo database the
+	// first time a request asks the server to execute its plan.
+	execOnce sync.Once
+	execDB   *data.DB
+}
+
+// ExecDB returns the world's demo database, generated from its catalog
+// on first use (seed and per-table row count apply only then). Worlds
+// without a catalog return nil — their plans cannot be executed.
+func (w *World) ExecDB(seed int64, rows int) *data.DB {
+	if w.Cat == nil {
+		return nil
+	}
+	w.execOnce.Do(func() { w.execDB = data.Populate(w.Cat, seed, rows) })
+	return w.execDB
 }
 
 // QuerySpec names a generated query on the wire: an expression family

@@ -3,8 +3,10 @@ package volcano
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"prairie/internal/core"
+	"prairie/internal/obs"
 	"prairie/internal/plancache"
 )
 
@@ -55,6 +57,15 @@ func (pc *PlanCache) Invalidate() uint64 {
 		return 0
 	}
 	return pc.c.Invalidate()
+}
+
+// Epoch returns the current cache generation without the counter scan
+// of Snapshot (the flight recorder stamps it on every request).
+func (pc *PlanCache) Epoch() uint64 {
+	if pc == nil {
+		return 0
+	}
+	return pc.c.Epoch()
 }
 
 // Snapshot returns the cache's counters.
@@ -158,6 +169,11 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 		req = core.NewDescriptor(o.RS.Algebra.Props)
 	}
 	pc := o.Opts.Cache
+	ph := o.Opts.Phases
+	var phStart time.Time
+	if ph != nil {
+		phStart = time.Now()
+	}
 	key := o.rootKey(tree, req)
 	// A full-search request must not adopt a greedy fast-path entry:
 	// the predicate turns such an entry into a miss for this caller
@@ -166,11 +182,21 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 	a := pc.c.AcquireIf(key, func(cp cachedPlan) bool { return cp.tier == TierFull })
 	if a.Hit {
 		o.Stats.CacheHits++
-		return o.cacheHit(a.Value), nil
+		plan := o.cacheHit(a.Value)
+		if ph != nil {
+			ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+		}
+		return plan, nil
 	}
 	if !a.Leader {
 		o.Stats.FlightWaits++
-		if cp, ok, err := a.Wait(ctx); err == nil && ok && cp.tier == TierFull {
+		cp, ok, err := a.Wait(ctx)
+		if ph != nil {
+			// The flight wait is cache time: the request was parked
+			// behind a concurrent identical search.
+			ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+		}
+		if err == nil && ok && cp.tier == TierFull {
 			o.Stats.FlightShared++
 			o.Stats.CacheHits++
 			return o.cacheHit(cp), nil
@@ -195,6 +221,9 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 		return plan, err
 	}
 	o.Stats.CacheMisses++
+	if ph != nil {
+		ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+	}
 	// A panicking rule hook must not wedge followers: the deferred
 	// no-share Complete is idempotent, so the success path below wins
 	// when it runs first.

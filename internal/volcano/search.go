@@ -84,6 +84,17 @@ type Options struct {
 	// lifecycle; share one Router across every optimizer of a serving
 	// surface.
 	Router *Router
+	// Phases, when set, receives coarse per-phase wall timings (cache
+	// acquire, greedy plan, full search, background refinement) for the
+	// request-scoped flight recorder. nil — the default — keeps every
+	// instrumentation point a single untaken branch, leaving plans and
+	// Stats byte-identical to an unrecorded run.
+	Phases *obs.PhaseClock
+	// OnRefine, when set, is called from the background refiner
+	// goroutine when a TierAuto refinement spawned by this run finishes,
+	// so its outcome can be linked back to the originating request. The
+	// callback must be safe to invoke after the request completed.
+	OnRefine func(RefineOutcome)
 }
 
 // DefaultMaxExprs is the default search-space cap.
@@ -207,6 +218,10 @@ func (o *Optimizer) dispatchOptimize(ctx context.Context, tree *core.Expr, req *
 }
 
 func (o *Optimizer) optimizeContext(ctx context.Context, tree *core.Expr, req *core.Descriptor) (*PExpr, error) {
+	if ph := o.Opts.Phases; ph != nil {
+		start := time.Now()
+		defer func() { ph.Observe(obs.PhaseFull, start, time.Since(start)) }()
+	}
 	o.beginRun(ctx)
 	if req == nil {
 		req = core.NewDescriptor(o.RS.Algebra.Props)

@@ -73,6 +73,13 @@ type Stats struct {
 	Refined    bool
 	GreedyCost float64
 	FullCost   float64
+	// TierClass and TierRouted record the router interaction of a
+	// TierAuto run for the flight recorder: the query's shape class and
+	// what the router decided for it ("refine" or "greedy"). Zero/""
+	// whenever no routing decision was made, and never rendered by
+	// String, so untiered output stays byte-identical.
+	TierClass  uint64
+	TierRouted string
 
 	// MemoBytes is a rough end-of-run estimate of the memo's heap
 	// footprint (see Memo.MemEstimate).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"prairie/internal/core"
 	"prairie/internal/obs"
@@ -77,6 +78,26 @@ func (errGreedyNoPlan) Error() string {
 }
 
 func (errGreedyNoPlan) Unwrap() error { return ErrNoPlan }
+
+// RefineOutcome describes how one background refinement ended; it is
+// delivered to Options.OnRefine so the flight recorder can link the
+// refinement back to the request that spawned it.
+type RefineOutcome struct {
+	// Outcome is one of RefineSwapped, RefineStale, RefineFailed, or
+	// RefinePanic.
+	Outcome    string
+	GreedyCost float64
+	FullCost   float64 // 0 when the full search failed or degraded
+	Elapsed    time.Duration
+}
+
+// Refinement outcome names (RefineOutcome.Outcome).
+const (
+	RefineSwapped = "swapped" // full plan published over the greedy entry
+	RefineStale   = "stale"   // dropped by the epoch check
+	RefineFailed  = "failed"  // full search erred, degraded, or found no plan
+	RefinePanic   = "panic"   // refiner goroutine recovered from a panic
+)
 
 // RouterConfig tunes the adaptive tier router. The zero value of every
 // field selects a sensible default.
@@ -294,6 +315,23 @@ func (r *Router) beginRefine(key plancache.Key) bool {
 	return true
 }
 
+// ClassState reports a shape class's routing statistics — paired
+// samples seen and the decayed relative benefit of full search — for
+// diagnostics; ok is false for classes the router has never tracked.
+// The flight recorder snapshots it at decision time.
+func (r *Router) ClassState(class uint64) (samples int, benefit float64, ok bool) {
+	if r == nil {
+		return 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := r.classes[class]
+	if cs == nil {
+		return 0, 0, false
+	}
+	return cs.samples, cs.benefit, true
+}
+
 func (r *Router) endRefine(key plancache.Key) {
 	if r == nil {
 		return
@@ -388,25 +426,45 @@ func (o *Optimizer) tieredOptimize(ctx context.Context, tree *core.Expr, req *co
 		rt = NewRouter(RouterConfig{})
 		o.Opts.Router = rt
 	}
+	ph := o.Opts.Phases
+	var phStart time.Time
+	if ph != nil {
+		phStart = time.Now()
+	}
 	key := o.rootKey(tree, req)
 	a := pc.c.Acquire(key)
 	if a.Hit {
 		o.Stats.CacheHits++
 		plan := o.cacheHit(a.Value)
+		if ph != nil {
+			ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+		}
 		// Self-healing: an auto request hitting a greedy entry whose
 		// refinement never landed (failed, stale, or router-skipped
 		// earlier) may re-spawn it per current policy.
 		if o.Opts.Tier == TierAuto && a.Value.tier == TierGreedy && !a.Value.refined {
 			class := o.RS.shapeClass(tree)
-			if rt.route(class) && rt.beginRefine(key) {
-				o.spawnRefine(key, class, tree, req, a.Value.cost)
+			o.Stats.TierClass = class
+			if rt.route(class) {
+				o.Stats.TierRouted = "refine"
+				if rt.beginRefine(key) {
+					o.spawnRefine(key, class, tree, req, a.Value.cost)
+				}
+			} else {
+				o.Stats.TierRouted = "greedy"
 			}
 		}
 		return plan, nil
 	}
 	if !a.Leader {
 		o.Stats.FlightWaits++
-		if cp, ok, err := a.Wait(ctx); err == nil && ok {
+		cp, ok, err := a.Wait(ctx)
+		if ph != nil {
+			// The flight wait is cache time: the request was parked
+			// behind a concurrent identical search.
+			ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+		}
+		if err == nil && ok {
 			// Adopt whatever the leader shared — a greedy fast-path plan
 			// is exactly what this tier asked for, and a full plan is
 			// strictly better.
@@ -427,6 +485,9 @@ func (o *Optimizer) tieredOptimize(ctx context.Context, tree *core.Expr, req *co
 	// Miss leader: serve the greedy plan now, publish it for followers,
 	// and (per policy) refine in the background.
 	o.Stats.CacheMisses++
+	if ph != nil {
+		ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+	}
 	// A panicking rule hook must not wedge followers: the deferred
 	// no-share Complete is idempotent, so the success path below wins
 	// when it runs first.
@@ -470,11 +531,21 @@ func (o *Optimizer) tieredOptimize(ctx context.Context, tree *core.Expr, req *co
 	if refine {
 		class = o.RS.shapeClass(tree)
 		refine = rt.route(class)
+		o.Stats.TierClass = class
+		o.Stats.TierRouted = routedName(refine)
 	}
 	if refine && rt.beginRefine(key) {
 		o.spawnRefine(key, class, tree, req, cost)
 	}
 	return plan, nil
+}
+
+// routedName renders a routing decision for Stats.TierRouted.
+func routedName(refine bool) string {
+	if refine {
+		return "refine"
+	}
+	return "greedy"
 }
 
 // tieredUncached answers a tiered request without a cache: synchronous,
@@ -488,7 +559,10 @@ func (o *Optimizer) tieredUncached(ctx context.Context, tree *core.Expr, req *co
 	}
 	rt := o.Opts.Router
 	class := o.RS.shapeClass(tree)
-	if !rt.route(class) {
+	refine := rt.route(class)
+	o.Stats.TierClass = class
+	o.Stats.TierRouted = routedName(refine)
+	if !refine {
 		plan, _, err := o.greedyTier(tree, req)
 		if err == nil {
 			return plan, nil
@@ -514,7 +588,15 @@ func (o *Optimizer) tieredUncached(ctx context.Context, tree *core.Expr, req *co
 // greedyTier runs the greedy bottom-up planner into this run's Stats
 // and marks the result's tier.
 func (o *Optimizer) greedyTier(tree *core.Expr, req *core.Descriptor) (*PExpr, float64, error) {
+	ph := o.Opts.Phases
+	var began time.Time
+	if ph != nil {
+		began = time.Now()
+	}
 	plan, err := greedyPlan(o.RS, tree, req, o.Stats)
+	if ph != nil {
+		ph.Observe(obs.PhaseGreedy, began, time.Since(began))
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -537,15 +619,31 @@ func (o *Optimizer) spawnRefine(key plancache.Key, class uint64, tree *core.Expr
 	opts.Tier = TierFull
 	opts.Cache = nil
 	opts.Router = nil
+	// The refiner reports through the spawning request's observability
+	// hooks, not through its own run: the phase clock and callback are
+	// captured here and cleared from the refiner's options, so the inner
+	// full search doesn't log its PhaseFull span into the request's
+	// timeline — the whole refinement shows up as one PhaseRefine span.
+	phases, onRefine := opts.Phases, opts.OnRefine
+	opts.Phases = nil
+	opts.OnRefine = nil
 	tree = tree.Clone()
 	req = req.Clone()
 	rt.wg.Add(1)
 	go func() {
+		began := time.Now()
+		out := RefineOutcome{Outcome: RefineFailed, GreedyCost: greedyCost}
 		defer rt.wg.Done()
 		defer rt.endRefine(key)
 		defer func() {
 			if p := recover(); p != nil {
 				rt.refinePanics.Inc()
+				out.Outcome = RefinePanic
+			}
+			out.Elapsed = time.Since(began)
+			phases.Observe(obs.PhaseRefine, began, out.Elapsed)
+			if onRefine != nil {
+				onRefine(out)
 			}
 		}()
 		ref := NewOptimizer(rs)
@@ -556,12 +654,14 @@ func (o *Optimizer) spawnRefine(key plancache.Key, class uint64, tree *core.Expr
 			return
 		}
 		fullCost := plan.Cost(rs.Class)
+		out.FullCost = fullCost
 		rt.observe(class, greedyCost, fullCost)
 		if hook := rt.testHookBeforeSwap; hook != nil {
 			hook()
 		}
 		if pc.c.Epoch() != key.Epoch {
 			rt.refineStale.Inc()
+			out.Outcome = RefineStale
 			return
 		}
 		pc.c.Put(key, cachedPlan{
@@ -576,6 +676,7 @@ func (o *Optimizer) spawnRefine(key plancache.Key, class uint64, tree *core.Expr
 			greedyCost: greedyCost,
 		})
 		rt.refineDone.Inc()
+		out.Outcome = RefineSwapped
 		if fullCost < greedyCost {
 			rt.refineWins.Inc()
 		}
