@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard exec-guard flight-guard bench-json bench-serve bench-tier bench-exec fuzz-smoke cover ci experiments clean
+.PHONY: all build vet test race bench-smoke bench-guard cache-guard tier-guard exec-guard flight-guard cluster-guard bench-json bench-serve bench-tier bench-exec bench-cluster fuzz-smoke cover ci experiments clean
 
 all: ci
 
@@ -95,6 +95,20 @@ flight-guard:
 	done
 	@awk -v pct=$(GUARD_PCT) -v guard=flight-guard -f scripts/guard.awk /tmp/flightguard.txt
 
+# Cluster neutrality guard: a server with no peers must answer
+# byte-identically to one with no cluster layer at all (TestClusterNeutral
+# checks the bytes) and cost within GUARD_PCT on the cold-miss path — the
+# only path where the cluster hook runs (ClusterGuard checks the cost).
+# The peer protocol, epoch fan-out, and cluster singleflight run under
+# the race detector first.
+cluster-guard:
+	$(GO) test -race -run 'TestCluster' -timeout 300s ./internal/server ./internal/cluster
+	@rm -f /tmp/clusterguard.txt
+	@for i in $$(seq $(BENCH_COUNT)); do \
+		$(GO) test -run 'XXX' -bench 'ClusterGuard' -benchtime 30x ./internal/server | tee -a /tmp/clusterguard.txt || exit 1; \
+	done
+	@awk -v pct=$(GUARD_PCT) -v guard=cluster-guard -f scripts/guard.awk /tmp/clusterguard.txt
+
 # Archive the repeat-workload plan-cache benchmark (cold vs warm ns/op,
 # full-hit speedup, hit rate, warm-start pruning, allocs) for diffing
 # across revisions.
@@ -120,6 +134,13 @@ bench-exec: build
 	$(GO) run ./cmd/optbench -experiment exec -json > BENCH_exec.json
 	@echo "bench-exec: wrote BENCH_exec.json"
 
+# Archive the multi-node cluster experiment (throughput scaling with
+# node count, cold vs peer-fill vs local-hit latency, hot-key
+# replication load reduction) for diffing across revisions.
+bench-cluster: build
+	$(GO) run ./cmd/optbench -experiment cluster -json > BENCH_cluster.json
+	@echo "bench-cluster: wrote BENCH_cluster.json"
+
 # Fuzz smoke: both fuzz targets for FUZZTIME each. FuzzParse drives the
 # rule-language front end (parse -> format -> parse fixed point);
 # FuzzFingerprint property-tests the plan-cache fingerprint invariants
@@ -139,7 +160,7 @@ cover:
 	$(GO) test -timeout 600s -coverprofile=cover.out ./...
 	@awk -v floor=$(COVER_FLOOR) -f scripts/cover.awk cover.out
 
-ci: vet build race bench-smoke cache-guard tier-guard exec-guard flight-guard fuzz-smoke cover
+ci: vet build race bench-smoke cache-guard tier-guard exec-guard flight-guard cluster-guard fuzz-smoke cover
 
 # Regenerate every paper table/figure (sequential, paper-faithful timing).
 experiments: build

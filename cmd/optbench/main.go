@@ -27,6 +27,7 @@
 // Tiered anytime planner (see internal/volcano tier.go and DESIGN.md §4.13):
 //
 //	optbench -experiment tier -json > BENCH_tier.json  # first-plan latency per tier, refinement win rate
+//	optbench -experiment cluster -json > BENCH_cluster.json  # distributed plan cache: scaling, peer-fill latency, hot-key replication
 //	optbench -experiment fig12 -repeats 10 -cache             # figure sweep with repeats served from the cache
 //
 // Observability (see internal/obs):
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, exec, all")
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, exec, cluster, all")
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
@@ -158,19 +159,20 @@ func main() {
 	}
 
 	run := map[string]func(){
-		"table5": func() { emit(experiments.Table5(4, opts)) },
-		"fig10":  func() { emit(experiments.Figure(10, opts)) },
-		"fig11":  func() { emit(experiments.Figure(11, opts)) },
-		"fig12":  func() { emit(experiments.Figure(12, opts)) },
-		"fig13":  func() { emit(experiments.Figure(13, opts)) },
-		"fig14":  func() { emit(experiments.Figure14(opts)) },
-		"rules":  func() { emit(experiments.RuleCounts()) },
-		"relopt": func() { emit(experiments.Relopt(opts)) },
-		"star":   func() { emit(experiments.StarGraphs(opts)) },
-		"repeat": func() { emit(experiments.RepeatWorkload(opts)) },
-		"serve":  func() { emit(experiments.ServeLoad(opts)) },
-		"tier":   func() { emit(experiments.TierBench(opts)) },
-		"exec":   func() { emit(experiments.ExecBench(opts)) },
+		"table5":  func() { emit(experiments.Table5(4, opts)) },
+		"fig10":   func() { emit(experiments.Figure(10, opts)) },
+		"fig11":   func() { emit(experiments.Figure(11, opts)) },
+		"fig12":   func() { emit(experiments.Figure(12, opts)) },
+		"fig13":   func() { emit(experiments.Figure(13, opts)) },
+		"fig14":   func() { emit(experiments.Figure14(opts)) },
+		"rules":   func() { emit(experiments.RuleCounts()) },
+		"relopt":  func() { emit(experiments.Relopt(opts)) },
+		"star":    func() { emit(experiments.StarGraphs(opts)) },
+		"repeat":  func() { emit(experiments.RepeatWorkload(opts)) },
+		"serve":   func() { emit(experiments.ServeLoad(opts)) },
+		"tier":    func() { emit(experiments.TierBench(opts)) },
+		"exec":    func() { emit(experiments.ExecBench(opts)) },
+		"cluster": func() { emit(experiments.ClusterBench(opts)) },
 	}
 	if *which == "all" {
 		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {

@@ -1,0 +1,621 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"prairie/internal/obs"
+)
+
+// Peer is one static cluster member.
+type Peer struct {
+	// ID names the member on the ring; it must be unique and identical
+	// in every node's configuration.
+	ID string
+	// URL is the member's base URL (e.g. "http://10.0.0.2:8080"); the
+	// peer endpoints are resolved under it. May be empty for Self.
+	URL string
+}
+
+// Config describes a node's place in the cluster. The zero value of
+// every tuning field picks a sensible default; only Self (and Peers,
+// for a multi-node cluster) must be set.
+type Config struct {
+	// Self is this node's member id.
+	Self string
+	// Peers is the full static membership, including Self. Empty means
+	// a single-node cluster of just Self.
+	Peers []Peer
+	// VNodes is the virtual-node count per member (DefaultVNodes).
+	VNodes int
+	// PeerTimeout bounds the transport time of one peer RPC beyond any
+	// requested leader wait (default 250ms).
+	PeerTimeout time.Duration
+	// WaitForLeader bounds how long a get parks behind the owner's
+	// in-progress optimization before degrading to a local search
+	// (default 2s).
+	WaitForLeader time.Duration
+	// DownAfter marks a peer down after this many consecutive RPC
+	// failures (default 3).
+	DownAfter int
+	// DownFor is how long a down peer is skipped before the next
+	// request probes it again (default 5s).
+	DownFor time.Duration
+	// LeaseTTL bounds how long the owner holds a flight open for a
+	// remote leader before releasing followers empty (default 5s).
+	LeaseTTL time.Duration
+	// HotAfter is the decayed fill-rate threshold that promotes a key
+	// into the replicated tier; 0 uses the default (4), negative
+	// disables hot-key replication.
+	HotAfter float64
+	// HotHalfLife is the EWMA half-life (default 10s).
+	HotHalfLife time.Duration
+	// MaxHot bounds the promoted set per node (default 64).
+	MaxHot int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 250 * time.Millisecond
+	}
+	if c.WaitForLeader <= 0 {
+		c.WaitForLeader = 2 * time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.DownFor <= 0 {
+		c.DownFor = 5 * time.Second
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.HotAfter == 0 {
+		c.HotAfter = 4
+	}
+	return c
+}
+
+// Backend is the node-local cache surface the peer endpoints serve
+// from. internal/server implements it over the shared plan cache and
+// the wire codec; payloads are opaque bytes to this package.
+type Backend interface {
+	// Epoch returns the local cache generation.
+	Epoch() uint64
+	// AdvanceTo raises the local epoch to at least e (monotonic).
+	AdvanceTo(e uint64) uint64
+	// Acquire opens an owner-side lookup for (world, fp, canon, epoch).
+	// ok is false when the world is unknown to this node — the peer
+	// then degrades to a local search.
+	Acquire(world string, fp uint64, canon string, epoch uint64) (Acquired, bool)
+	// Insert decodes and stores a peer-offered payload, reporting
+	// whether it decoded.
+	Insert(world string, fp uint64, canon string, epoch uint64, payload []byte) bool
+}
+
+// Acquired is one owner-side lookup: a hit, the lead on a miss, or a
+// follower position behind an in-progress flight.
+type Acquired interface {
+	// Hit returns the encoded entry when the lookup hit.
+	Hit() ([]byte, bool)
+	// Leader reports whether this lookup owns the miss.
+	Leader() bool
+	// Wait parks a follower until the leader completes or ctx expires.
+	Wait(ctx context.Context) ([]byte, bool)
+	// Complete resolves a led flight with a remote leader's payload,
+	// storing and sharing it; returns false (and resolves the flight
+	// empty) when the payload does not decode.
+	Complete(payload []byte) bool
+	// Abandon resolves a led flight empty (lease expiry): followers run
+	// their own searches.
+	Abandon()
+}
+
+// Peer protocol paths, mounted by the server under its API mux.
+const (
+	PathPrefix    = "/v1/peer/"
+	PeerGetPath   = "/v1/peer/get"
+	PeerPutPath   = "/v1/peer/put"
+	PeerEpochPath = "/v1/peer/epoch"
+)
+
+// Outcome classifies one Fetch.
+type Outcome int
+
+const (
+	OutcomeSelf      Outcome = iota // key owned locally; no RPC
+	OutcomeHit                      // owner served the entry
+	OutcomeCollapsed                // owner parked us behind a flight and shared its result
+	OutcomeLead                     // owner missed; we hold the cluster-wide lease
+	OutcomeMiss                     // owner missed and could not grant or resolve a lease
+	OutcomeStale                    // our epoch lagged; local epoch has been advanced
+	OutcomeDown                     // owner marked down; skipped without an RPC
+	OutcomeError                    // transport failure or garbage answer
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSelf:
+		return "self"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCollapsed:
+		return "collapsed"
+	case OutcomeLead:
+		return "lead"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeStale:
+		return "stale"
+	case OutcomeDown:
+		return "down"
+	default:
+		return "error"
+	}
+}
+
+// getRequest asks the owner for one entry. WaitMS is how long the
+// requester is willing to be parked behind an in-progress flight.
+type getRequest struct {
+	World  string `json:"world"`
+	FP     uint64 `json:"fp"`
+	Canon  string `json:"canon"`
+	Epoch  uint64 `json:"epoch"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+}
+
+// getResponse carries the owner's answer plus its epoch — every peer
+// exchange doubles as epoch reconciliation in both directions.
+type getResponse struct {
+	Outcome   string          `json:"outcome"` // hit | lead | miss | stale
+	Collapsed bool            `json:"collapsed,omitempty"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+	Epoch     uint64          `json:"epoch"`
+}
+
+type putRequest struct {
+	World   string          `json:"world"`
+	FP      uint64          `json:"fp"`
+	Canon   string          `json:"canon"`
+	Epoch   uint64          `json:"epoch"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type putResponse struct {
+	Stored bool   `json:"stored"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+type epochMsg struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// peerState tracks one remote member's health. Consecutive transport
+// failures mark it down for DownFor; any success resets it. A long
+// leader wait is not a failure — only errors and non-200s count.
+type peerState struct {
+	id  string
+	url string
+
+	mu        sync.Mutex
+	fails     int
+	downUntil time.Time
+}
+
+func (p *peerState) isDown(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return now.Before(p.downUntil)
+}
+
+// Node is this process's cluster membership: the ring, the peer
+// clients, the owner-side lease table, and the hot-key tracker.
+type Node struct {
+	cfg     Config
+	ring    *Ring
+	backend Backend
+	peers   map[string]*peerState // remote members only
+	client  *http.Client
+	hot     *hotTracker
+
+	leaseMu sync.Mutex
+	leases  map[leaseKey]*lease
+
+	offerSem chan struct{}
+	wg       sync.WaitGroup
+
+	m nodeMetrics
+}
+
+type leaseKey struct {
+	world string
+	fp    uint64
+	canon string
+	epoch uint64
+}
+
+type lease struct {
+	acq   Acquired
+	timer *time.Timer
+}
+
+type nodeMetrics struct {
+	peerGets      *obs.Counter
+	peerFills     *obs.Counter
+	peerCollapsed *obs.Counter
+	peerLeads     *obs.Counter
+	peerMisses    *obs.Counter
+	peerStale     *obs.Counter
+	peerErrors    *obs.Counter
+	downSkips     *obs.Counter
+	downEvents    *obs.Counter
+	getSeconds    *obs.Histogram
+	offers        *obs.Counter
+	offersDropped *obs.Counter
+	servedGets    *obs.Counter
+	servedHits    *obs.Counter
+	servedWaits   *obs.Counter
+	servedLeads   *obs.Counter
+	servedStale   *obs.Counter
+	servedPuts    *obs.Counter
+	leaseExpired  *obs.Counter
+	promotions    *obs.Counter
+
+	peersDown *obs.Gauge
+	hotTrack  *obs.Gauge
+	hotKeys   *obs.Gauge
+}
+
+// New validates the membership and returns the node. reg may be nil
+// (all metric sinks become no-ops).
+func New(cfg Config, backend Backend, reg *obs.Registry) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("cluster: Backend is required")
+	}
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		cfg.Peers = []Peer{{ID: cfg.Self}}
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	peers := make(map[string]*peerState, len(cfg.Peers))
+	selfListed := false
+	for _, p := range cfg.Peers {
+		if p.ID == "" {
+			return nil, fmt.Errorf("cluster: peer with empty id")
+		}
+		ids = append(ids, p.ID)
+		if p.ID == cfg.Self {
+			selfListed = true
+			continue
+		}
+		if p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no url", p.ID)
+		}
+		u, err := url.Parse(p.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q has invalid url %q", p.ID, p.URL)
+		}
+		peers[p.ID] = &peerState{id: p.ID, url: u.Scheme + "://" + u.Host}
+	}
+	if !selfListed {
+		return nil, fmt.Errorf("cluster: Self %q is not in Peers", cfg.Self)
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    ring,
+		backend: backend,
+		peers:   peers,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     60 * time.Second,
+		}},
+		hot:      newHotTracker(cfg.HotAfter, cfg.HotHalfLife, cfg.MaxHot),
+		leases:   make(map[leaseKey]*lease),
+		offerSem: make(chan struct{}, 8),
+		m: nodeMetrics{
+			peerGets:      reg.Counter("prairie_cluster_peer_gets_total"),
+			peerFills:     reg.Counter("prairie_cluster_peer_fills_total"),
+			peerCollapsed: reg.Counter("prairie_cluster_peer_collapsed_total"),
+			peerLeads:     reg.Counter("prairie_cluster_peer_leads_total"),
+			peerMisses:    reg.Counter("prairie_cluster_peer_misses_total"),
+			peerStale:     reg.Counter("prairie_cluster_peer_stale_total"),
+			peerErrors:    reg.Counter("prairie_cluster_peer_errors_total"),
+			downSkips:     reg.Counter("prairie_cluster_peer_down_skips_total"),
+			downEvents:    reg.Counter("prairie_cluster_peer_down_events_total"),
+			getSeconds:    reg.Histogram("prairie_cluster_peer_get_seconds", nil),
+			offers:        reg.Counter("prairie_cluster_offers_total"),
+			offersDropped: reg.Counter("prairie_cluster_offers_dropped_total"),
+			servedGets:    reg.Counter("prairie_cluster_served_gets_total"),
+			servedHits:    reg.Counter("prairie_cluster_served_hits_total"),
+			servedWaits:   reg.Counter("prairie_cluster_served_collapsed_total"),
+			servedLeads:   reg.Counter("prairie_cluster_served_leads_total"),
+			servedStale:   reg.Counter("prairie_cluster_served_stale_total"),
+			servedPuts:    reg.Counter("prairie_cluster_served_puts_total"),
+			leaseExpired:  reg.Counter("prairie_cluster_lease_expirations_total"),
+			promotions:    reg.Counter("prairie_cluster_promotions_total"),
+			peersDown:     reg.Gauge("prairie_cluster_peers_down"),
+			hotTrack:      reg.Gauge("prairie_cluster_hot_keys_tracked"),
+			hotKeys:       reg.Gauge("prairie_cluster_hot_keys_promoted"),
+		},
+	}
+	return n, nil
+}
+
+// Self returns this node's member id.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Owns reports whether this node owns (world, fp) on the ring.
+func (n *Node) Owns(world string, fp uint64) bool {
+	return n.ring.Owner(KeyHash(world, fp)) == n.cfg.Self
+}
+
+// Hot reports whether (world, fp) is currently promoted into the
+// replicated tier on this node.
+func (n *Node) Hot(world string, fp uint64) bool {
+	return n.hot.isHot(hotKey{world: world, fp: fp})
+}
+
+// Fetch asks the key's owning peer for the entry. It never blocks past
+// WaitForLeader + PeerTimeout (clamped to ctx) and never returns an
+// error shape the caller must handle — every failure mode maps to an
+// Outcome that degrades to a local search. promote reports that the
+// key crossed the hot threshold on this fill and the fetched entry
+// should be replicated locally.
+func (n *Node) Fetch(ctx context.Context, world string, fp uint64, canon string, epoch uint64) (payload []byte, promote bool, out Outcome) {
+	owner := n.ring.Owner(KeyHash(world, fp))
+	if owner == n.cfg.Self {
+		return nil, false, OutcomeSelf
+	}
+	p := n.peers[owner]
+	if p.isDown(time.Now()) {
+		n.m.downSkips.Inc()
+		return nil, false, OutcomeDown
+	}
+	wait := n.cfg.WaitForLeader
+	if dl, ok := ctx.Deadline(); ok {
+		// Leave the caller margin to degrade to a local greedy plan if
+		// the peer exchange eats most of the deadline.
+		if rem := time.Until(dl) / 2; rem < wait {
+			wait = rem
+		}
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	n.m.peerGets.Inc()
+	req := getRequest{World: world, FP: fp, Canon: canon, Epoch: epoch, WaitMS: wait.Milliseconds()}
+	start := time.Now()
+	var resp getResponse
+	err := n.post(ctx, p, PeerGetPath, req, &resp, wait+n.cfg.PeerTimeout)
+	n.m.getSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		n.fail(p)
+		n.m.peerErrors.Inc()
+		return nil, false, OutcomeError
+	}
+	n.recover(p)
+	if resp.Epoch > epoch {
+		n.backend.AdvanceTo(resp.Epoch)
+	}
+	switch resp.Outcome {
+	case "hit":
+		n.m.peerFills.Inc()
+		out := OutcomeHit
+		if resp.Collapsed {
+			n.m.peerCollapsed.Inc()
+			out = OutcomeCollapsed
+		}
+		if n.hot.observeFill(hotKey{world: world, fp: fp}) {
+			n.m.promotions.Inc()
+			promote = true
+		}
+		return resp.Payload, promote, out
+	case "lead":
+		n.m.peerLeads.Inc()
+		return nil, false, OutcomeLead
+	case "stale":
+		n.m.peerStale.Inc()
+		return nil, false, OutcomeStale
+	case "miss":
+		n.m.peerMisses.Inc()
+		return nil, false, OutcomeMiss
+	default:
+		n.m.peerErrors.Inc()
+		return nil, false, OutcomeError
+	}
+}
+
+// Offer forwards a freshly computed entry to its owning peer,
+// asynchronously: the serving request must not wait for replication.
+// A bounded in-flight pool drops offers under pressure — the owner
+// will simply recompute or re-receive the entry later.
+func (n *Node) Offer(world string, fp uint64, canon string, epoch uint64, payload []byte) {
+	owner := n.ring.Owner(KeyHash(world, fp))
+	if owner == n.cfg.Self {
+		return
+	}
+	p := n.peers[owner]
+	if p.isDown(time.Now()) {
+		n.m.downSkips.Inc()
+		return
+	}
+	select {
+	case n.offerSem <- struct{}{}:
+	default:
+		n.m.offersDropped.Inc()
+		return
+	}
+	n.m.offers.Inc()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() { <-n.offerSem }()
+		req := putRequest{World: world, FP: fp, Canon: canon, Epoch: epoch, Payload: payload}
+		var resp putResponse
+		err := n.post(context.Background(), p, PeerPutPath, req, &resp, 2*n.cfg.PeerTimeout)
+		if err != nil {
+			n.fail(p)
+			n.m.peerErrors.Inc()
+			return
+		}
+		n.recover(p)
+		if resp.Epoch > epoch {
+			n.backend.AdvanceTo(resp.Epoch)
+		}
+	}()
+}
+
+// BroadcastEpoch fans an invalidation out to every live peer and
+// returns how many acknowledged. Down peers are skipped — they
+// reconcile on their next peer exchange, and monotonic AdvanceTo makes
+// double delivery harmless.
+func (n *Node) BroadcastEpoch(ctx context.Context, epoch uint64) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	notified := 0
+	for _, p := range n.peers {
+		if p.isDown(time.Now()) {
+			n.m.downSkips.Inc()
+			continue
+		}
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			var resp epochMsg
+			err := n.post(ctx, p, PeerEpochPath, epochMsg{Epoch: epoch}, &resp, n.cfg.PeerTimeout)
+			if err != nil {
+				n.fail(p)
+				n.m.peerErrors.Inc()
+				return
+			}
+			n.recover(p)
+			if resp.Epoch > epoch {
+				n.backend.AdvanceTo(resp.Epoch)
+			}
+			mu.Lock()
+			notified++
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return notified
+}
+
+// Status is the cluster section of the /healthz body.
+type Status struct {
+	NodeID    string   `json:"node_id"`
+	PeerCount int      `json:"peer_count"`
+	PeersDown []string `json:"peers_down,omitempty"`
+	HotKeys   int      `json:"hot_keys"`
+	Epoch     uint64   `json:"epoch"`
+}
+
+// Status snapshots the membership state.
+func (n *Node) Status() Status {
+	st := Status{
+		NodeID:    n.cfg.Self,
+		PeerCount: len(n.ring.Members()),
+		Epoch:     n.backend.Epoch(),
+	}
+	now := time.Now()
+	for _, id := range n.ring.Members() {
+		if p, ok := n.peers[id]; ok && p.isDown(now) {
+			st.PeersDown = append(st.PeersDown, id)
+		}
+	}
+	_, st.HotKeys = n.hot.counts()
+	return st
+}
+
+// RefreshGauges publishes the point-in-time cluster gauges; the server
+// calls it before serving a metrics scrape (the registry is pull-based
+// with no collect hooks).
+func (n *Node) RefreshGauges() {
+	now := time.Now()
+	down := 0
+	for _, p := range n.peers {
+		if p.isDown(now) {
+			down++
+		}
+	}
+	tracked, hot := n.hot.counts()
+	n.m.peersDown.Set(float64(down))
+	n.m.hotTrack.Set(float64(tracked))
+	n.m.hotKeys.Set(float64(hot))
+}
+
+// Close abandons outstanding leases and waits for in-flight offers.
+func (n *Node) Close() {
+	n.leaseMu.Lock()
+	leases := n.leases
+	n.leases = make(map[leaseKey]*lease)
+	n.leaseMu.Unlock()
+	for _, l := range leases {
+		l.timer.Stop()
+		l.acq.Abandon()
+	}
+	n.wg.Wait()
+	n.client.CloseIdleConnections()
+}
+
+func (n *Node) fail(p *peerState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails++
+	if p.fails >= n.cfg.DownAfter {
+		p.fails = 0
+		p.downUntil = time.Now().Add(n.cfg.DownFor)
+		n.m.downEvents.Inc()
+	}
+}
+
+func (n *Node) recover(p *peerState) {
+	p.mu.Lock()
+	p.fails = 0
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
+}
+
+// post sends one JSON request and decodes the JSON answer, bounded by
+// timeout (and the caller's ctx). Any non-200 answer is a failure —
+// the peer protocol has no error shapes, only degraded outcomes.
+func (n *Node) post(ctx context.Context, p *peerState, path string, in, out any, timeout time.Duration) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s %s: status %d", p.id, path, resp.StatusCode)
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// This file is the owner side of the peer protocol: the HTTP handlers
+// a node serves its shard from. The flow mirrors the plan cache's own
+// singleflight, which is what makes the collapse cluster-wide:
+//
+//	get  → hit: answer from the shard.
+//	     → lead: this node's cache missed and the requester is granted
+//	       a lease — it optimizes and puts the result back, resolving
+//	       the flight for every local and remote follower. The lease
+//	       expires after LeaseTTL so a crashed requester cannot wedge
+//	       followers forever.
+//	     → follower: an optimization for the key is already in flight
+//	       (local, or another peer's lease); the request parks up to
+//	       wait_ms and either adopts the result (hit, collapsed) or
+//	       degrades (miss).
+//	     → stale: the requester's epoch lags this node's; it must
+//	       rebuild its key. (The reverse — this node lagging — is
+//	       reconciled silently via AdvanceTo before the lookup.)
+//	put  → completes the matching lease, or inserts directly.
+//	epoch→ monotonic reconciliation; the invalidate fan-out target.
+
+// Handler returns the peer-protocol endpoints; the server mounts it
+// under PathPrefix.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PeerGetPath, n.handleGet)
+	mux.HandleFunc(PeerPutPath, n.handlePut)
+	mux.HandleFunc(PeerEpochPath, n.handleEpoch)
+	return mux
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
+	var req getRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	n.m.servedGets.Inc()
+	local := n.backend.AdvanceTo(req.Epoch)
+	if req.Epoch < local {
+		// The requester lags: it must rebuild its key under the newer
+		// epoch. Serving its old-epoch key would be serving a plan the
+		// invalidation already cut off.
+		n.m.servedStale.Inc()
+		writeJSON(w, getResponse{Outcome: "stale", Epoch: local})
+		return
+	}
+	acq, ok := n.backend.Acquire(req.World, req.FP, req.Canon, req.Epoch)
+	if !ok {
+		writeJSON(w, getResponse{Outcome: "miss", Epoch: local})
+		return
+	}
+	if payload, ok := acq.Hit(); ok {
+		n.m.servedHits.Inc()
+		writeJSON(w, getResponse{Outcome: "hit", Payload: payload, Epoch: local})
+		return
+	}
+	if acq.Leader() {
+		n.registerLease(leaseKey{world: req.World, fp: req.FP, canon: req.Canon, epoch: req.Epoch}, acq)
+		n.m.servedLeads.Inc()
+		writeJSON(w, getResponse{Outcome: "lead", Epoch: local})
+		return
+	}
+	// Follower: an optimization is in flight somewhere in the cluster.
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait <= 0 || wait > n.cfg.WaitForLeader {
+		wait = n.cfg.WaitForLeader
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	if payload, ok := acq.Wait(ctx); ok {
+		n.m.servedWaits.Inc()
+		writeJSON(w, getResponse{Outcome: "hit", Collapsed: true, Payload: payload, Epoch: local})
+		return
+	}
+	writeJSON(w, getResponse{Outcome: "miss", Epoch: local})
+}
+
+func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
+	var req putRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	local := n.backend.AdvanceTo(req.Epoch)
+	if req.Epoch < local {
+		// A put computed under an invalidated epoch: storing it would be
+		// harmless (the key embeds the epoch, so nothing can hit it) but
+		// pointless; resolving a matching lease empty releases followers
+		// to recompute under the new epoch.
+		if l, ok := n.takeLease(leaseKey{world: req.World, fp: req.FP, canon: req.Canon, epoch: req.Epoch}); ok {
+			l.acq.Abandon()
+		}
+		writeJSON(w, putResponse{Stored: false, Epoch: local})
+		return
+	}
+	k := leaseKey{world: req.World, fp: req.FP, canon: req.Canon, epoch: req.Epoch}
+	stored := false
+	if l, ok := n.takeLease(k); ok {
+		stored = l.acq.Complete(req.Payload)
+	} else {
+		stored = n.backend.Insert(req.World, req.FP, req.Canon, req.Epoch, req.Payload)
+	}
+	if stored {
+		n.m.servedPuts.Inc()
+	}
+	writeJSON(w, putResponse{Stored: stored, Epoch: local})
+}
+
+func (n *Node) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	var req epochMsg
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	writeJSON(w, epochMsg{Epoch: n.backend.AdvanceTo(req.Epoch)})
+}
+
+// registerLease parks an owner-side led flight awaiting the remote
+// leader's put. The TTL timer abandons it if the put never arrives.
+func (n *Node) registerLease(k leaseKey, acq Acquired) {
+	l := &lease{acq: acq}
+	l.timer = time.AfterFunc(n.cfg.LeaseTTL, func() {
+		n.leaseMu.Lock()
+		cur, ok := n.leases[k]
+		if ok && cur == l {
+			delete(n.leases, k)
+		}
+		n.leaseMu.Unlock()
+		if ok && cur == l {
+			n.m.leaseExpired.Inc()
+			l.acq.Abandon()
+		}
+	})
+	n.leaseMu.Lock()
+	n.leases[k] = l
+	n.leaseMu.Unlock()
+}
+
+// takeLease removes and returns the lease for k, stopping its timer.
+func (n *Node) takeLease(k leaseKey) (*lease, bool) {
+	n.leaseMu.Lock()
+	l, ok := n.leases[k]
+	if ok {
+		delete(n.leases, k)
+	}
+	n.leaseMu.Unlock()
+	if ok {
+		l.timer.Stop()
+	}
+	return l, ok
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// hotTracker scores peer-filled keys with an exponentially-decayed hit
+// count and promotes the head of the distribution into the replicated
+// tier: once a key's decayed fill rate crosses the threshold, every
+// node keeps a local replica and stops paying the peer round-trip. The
+// zipfian head is tiny by definition, so the tracker is bounded — both
+// the tracked set and the promoted set — and cold keys decay back out.
+type hotTracker struct {
+	mu        sync.Mutex
+	threshold float64       // promote when the decayed score crosses this
+	halfLife  time.Duration // score halves per halfLife of silence
+	maxTrack  int           // tracked-key bound (LRU-ish eviction by score)
+	maxHot    int           // promoted-set bound
+	entries   map[hotKey]*hotEntry
+	hotCount  int
+	now       func() time.Time // test hook
+}
+
+type hotKey struct {
+	world string
+	fp    uint64
+}
+
+type hotEntry struct {
+	score float64
+	last  time.Time
+	hot   bool
+}
+
+func newHotTracker(threshold float64, halfLife time.Duration, maxHot int) *hotTracker {
+	if threshold <= 0 {
+		return nil // replication disabled
+	}
+	if halfLife <= 0 {
+		halfLife = 10 * time.Second
+	}
+	if maxHot <= 0 {
+		maxHot = 64
+	}
+	return &hotTracker{
+		threshold: threshold,
+		halfLife:  halfLife,
+		maxTrack:  maxHot * 8,
+		maxHot:    maxHot,
+		entries:   make(map[hotKey]*hotEntry),
+		now:       time.Now,
+	}
+}
+
+// observeFill records one peer fill of k and reports whether this fill
+// promoted the key into the replicated tier (the caller then stores the
+// fetched entry locally). Nil-safe: a nil tracker never promotes.
+func (t *hotTracker) observeFill(k hotKey) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	e := t.entries[k]
+	if e == nil {
+		if len(t.entries) >= t.maxTrack {
+			t.evictColdest(now)
+		}
+		e = &hotEntry{}
+		t.entries[k] = e
+	}
+	e.score = e.score*decay(now.Sub(e.last), t.halfLife) + 1
+	e.last = now
+	if e.hot {
+		return true
+	}
+	if e.score >= t.threshold && t.hotCount < t.maxHot {
+		e.hot = true
+		t.hotCount++
+		return true
+	}
+	return false
+}
+
+// isHot reports whether k is currently promoted, demoting it first if
+// its score has decayed below half the threshold (hysteresis: a key
+// must re-earn promotion, not flap on the boundary). Nil-safe.
+func (t *hotTracker) isHot(k hotKey) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[k]
+	if e == nil || !e.hot {
+		return false
+	}
+	now := t.now()
+	e.score *= decay(now.Sub(e.last), t.halfLife)
+	e.last = now
+	if e.score < t.threshold/2 {
+		e.hot = false
+		t.hotCount--
+		return false
+	}
+	return true
+}
+
+// counts returns (tracked, promoted) for the metrics exposition.
+func (t *hotTracker) counts() (int, int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries), t.hotCount
+}
+
+// evictColdest drops the lowest-decayed-score unpromoted entry; called
+// under mu when the tracked set is full.
+func (t *hotTracker) evictColdest(now time.Time) {
+	var victim hotKey
+	best := math.Inf(1)
+	found := false
+	for k, e := range t.entries {
+		if e.hot {
+			continue
+		}
+		s := e.score * decay(now.Sub(e.last), t.halfLife)
+		if s < best {
+			best, victim, found = s, k, true
+		}
+	}
+	if found {
+		delete(t.entries, victim)
+	}
+}
+
+func decay(dt time.Duration, halfLife time.Duration) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(dt) / float64(halfLife))
+}

@@ -1,0 +1,119 @@
+// Package cluster makes the plan cache horizontally scalable: a
+// consistent-hash ring assigns every canonical query fingerprint an
+// owning node out of a static peer list, and a compact HTTP/JSON peer
+// protocol (/v1/peer/get, /v1/peer/put, /v1/peer/epoch) lets a node
+// serve another node's miss — or park it behind an in-progress
+// optimization, extending the plan cache's singleflight collapse
+// cluster-wide. A per-key EWMA promotes zipfian head keys into a small
+// replicated tier served locally on every node, and epoch invalidation
+// fans out with monotonic reconciliation so a lagging peer never serves
+// a stale-epoch plan.
+//
+// The package is transport-and-bytes only: cache entries are opaque
+// payloads behind the Backend interface, which internal/server
+// implements over the shared plan cache and the wire codec. Peer
+// failures degrade, never error — a timed-out or down peer means the
+// local node optimizes itself, and a peer that fails repeatedly is
+// skipped entirely until a backoff expires.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Construction is
+// deterministic in the member list alone (ids are hashed, order is
+// irrelevant), so every node of a cluster derives the identical
+// assignment from the same static configuration — no coordination,
+// no gossip.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	ids    []string    // distinct member ids, sorted
+}
+
+type ringPoint struct {
+	h  uint64
+	id string
+}
+
+// DefaultVNodes is the virtual-node count per member: enough points
+// that a 2–8 node ring balances within a few percent, few enough that
+// building and searching the ring stays trivial.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over the member ids with vnodes virtual nodes
+// each (vnodes <= 0 uses DefaultVNodes). Duplicate ids are an error —
+// a membership typo must not silently double a node's arc.
+func NewRing(ids []string, vnodes int) (*Ring, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", sorted[i])
+		}
+	}
+	r := &Ring{ids: sorted, points: make([]ringPoint, 0, len(sorted)*vnodes)}
+	for _, id := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: ringHash(fmt.Sprintf("%s#%d", id, v)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Hash ties break by id so equal-hash points still order
+		// deterministically across nodes.
+		return r.points[i].id < r.points[j].id
+	})
+	return r, nil
+}
+
+// ringHash is FNV-1a finished with an avalanche mix: FNV alone is too
+// sequential for vnode suffixes ("a#1", "a#2", ...) to spread, and the
+// ring's balance is only as good as its point spread.
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Members returns the member ids, sorted.
+func (r *Ring) Members() []string { return r.ids }
+
+// Owner returns the member owning hash h: the first ring point
+// clockwise from h.
+func (r *Ring) Owner(h uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}
+
+// KeyHash folds a world name and a query fingerprint into the ring
+// position identifying the entry's owner. The world name participates
+// so distinct worlds spread independently even where fingerprint
+// spaces overlap.
+func KeyHash(world string, fp uint64) uint64 {
+	h := ringHash(world)
+	h ^= fp
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

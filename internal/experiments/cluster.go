@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"prairie/internal/cluster"
+	"prairie/internal/obs"
+	"prairie/internal/qgen"
+	"prairie/internal/server"
+)
+
+// This file benchmarks the distributed plan cache (internal/cluster):
+// N in-process optserve nodes joined into one consistent-hash cluster,
+// driven over real HTTP. Three phases back `make bench-cluster`
+// (BENCH_cluster.json):
+//
+//  1. Capacity scaling — a zipfian workload whose working set exceeds
+//     one node's cache but fits the cluster's aggregate: throughput
+//     must grow with node count because sharding turns recomputations
+//     into peer fills.
+//  2. Latency ladder — peer-fill p50 must sit well below cold p50
+//     (a peer round-trip beats re-optimizing) and above local-hit p50.
+//  3. Hot-key replication — hammering a handful of keys through every
+//     node must promote them into the replicated tier, cutting the
+//     owner-shard request load versus a replication-off cluster.
+//
+// Every plan any node returns is verified byte-identical to a
+// single-node cold reference — distribution may never change answers.
+
+// benchNode is one in-process cluster member.
+type benchNode struct {
+	srv     *server.Server
+	hs      *http.Server
+	url     string
+	metrics *obs.Registry
+}
+
+// startBenchCluster boots n nodes sharing one world registry, with the
+// listeners bound first so every node's static peer list carries real
+// URLs (the usual bootstrap order on real deployments: addresses are
+// configuration, processes come up in any order).
+func startBenchCluster(reg *server.Registry, n, cacheSize, workers int, hotAfter float64) ([]*benchNode, func(), error) {
+	lns := make([]net.Listener, 0, n)
+	peers := make([]cluster.Peer, n)
+	cleanup := func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		lns = append(lns, ln)
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("node%d", i), URL: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*benchNode, n)
+	for i := range nodes {
+		metrics := obs.NewRegistry()
+		srv, err := server.New(server.Config{
+			Registry:    reg,
+			CacheSize:   cacheSize,
+			MaxInflight: workers,
+			Obs:         &obs.Observer{Metrics: metrics},
+			Cluster:     &cluster.Config{Self: peers[i].ID, Peers: peers, HotAfter: hotAfter},
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		ln := lns[i]
+		go func() { _ = hs.Serve(ln) }()
+		nodes[i] = &benchNode{srv: srv, hs: hs, url: peers[i].URL, metrics: metrics}
+	}
+	closer := func() {
+		for _, nd := range nodes {
+			_ = nd.hs.Close()
+			nd.srv.Close()
+		}
+	}
+	return nodes, closer, nil
+}
+
+// counterSum sums one counter across every node's registry.
+func counterSum(nodes []*benchNode, name string) int64 {
+	var total int64
+	for _, nd := range nodes {
+		total += nd.metrics.Counter(name).Value()
+	}
+	return total
+}
+
+// clusterPool is the benchmark's query pool: wide enough that it
+// overflows one phase-1 node cache, small enough that cold passes stay
+// cheap.
+func clusterPool(maxN int) []server.OptimizeRequest {
+	pool := []struct {
+		e      qgen.ExprKind
+		lo, hi int
+	}{
+		{qgen.E1, 2, maxN},
+		{qgen.E2, 3, maxN},
+		{qgen.E3, 3, maxN - 1},
+	}
+	var reqs []server.OptimizeRequest
+	for _, p := range pool {
+		for n := p.lo; n <= p.hi; n++ {
+			reqs = append(reqs, server.OptimizeRequest{
+				Ruleset: "oodb/prairie",
+				Query:   server.QuerySpec{Family: p.e.String(), N: n},
+			})
+		}
+	}
+	return reqs
+}
+
+// ClusterBench runs the multi-node cluster benchmark.
+func ClusterBench(opts Options) (*Table, error) {
+	const maxN = 6
+	seed := opts.seeds()[0]
+	workers := opts.Workers
+	if workers <= 1 {
+		workers = 4
+	}
+	reg, err := server.DefaultRegistry(maxN, seed, "")
+	if err != nil {
+		return nil, err
+	}
+	reqs := clusterPool(maxN)
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: workers + 2},
+		Timeout:   30 * time.Second,
+	}
+
+	// Reference plans: one single-node cold pass. Every plan any
+	// clustered node serves later must match these byte-for-byte.
+	refs := make([]string, len(reqs))
+	{
+		nodes, closer, err := startBenchCluster(reg, 1, opts.cacheSize(), workers, -1)
+		if err != nil {
+			return nil, err
+		}
+		for i, rq := range reqs {
+			s := serveClient(client, nodes[0].url+"/v1/optimize", rq)
+			if s.err != nil {
+				closer()
+				return nil, fmt.Errorf("experiments: cluster reference %s: %w", rq.Query, s.err)
+			}
+			refs[i] = s.planTxt
+		}
+		closer()
+	}
+	check := func(phase string, q int, planTxt string) error {
+		if planTxt != refs[q] {
+			return fmt.Errorf("experiments: cluster %s: %s plan differs from single-node reference",
+				phase, reqs[q].Query)
+		}
+		return nil
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Distributed plan cache: %d-query zipfian pool over 1..3 in-process nodes (HTTP peer protocol)", len(reqs)),
+		Header: []string{"phase", "metric", "value"},
+		Notes: []string{
+			"phase 1: per-node cache holds ~1/3 of the pool; throughput grows with node count as sharding turns recomputations into peer fills",
+			"phase 2: peer-fill p50 must sit well below cold p50 (a fill is one HTTP round-trip, a miss is a full search)",
+			"phase 3: the same hammered keys with replication off vs on; promotion must cut the owner-shard request load",
+			"every plan from every node verified byte-identical to the single-node cold reference",
+		},
+	}
+	extra := map[string]float64{
+		"workers":    float64(workers),
+		"pool":       float64(len(reqs)),
+		"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+	}
+
+	// Phase 1 — capacity scaling. The per-node cache is deliberately
+	// smaller than the pool: one node must recompute evicted plans all
+	// stream long, while three nodes' aggregate capacity covers the
+	// pool and misses become peer fills.
+	perNodeCache := len(reqs)/3 + 1
+	draws := qgen.ZipfDraws(len(reqs), opts.draws(), 1.1, seed)
+	for _, nn := range []int{1, 2, 3} {
+		nodes, closer, err := startBenchCluster(reg, nn, perNodeCache, workers, -1)
+		if err != nil {
+			return nil, err
+		}
+		// Warmup: one full pool pass round-robin, so owner shards are
+		// populated before the timed stream.
+		for i, rq := range reqs {
+			s := serveClient(client, nodes[i%nn].url+"/v1/optimize", rq)
+			if s.err != nil {
+				closer()
+				return nil, fmt.Errorf("experiments: cluster warmup n=%d %s: %w", nn, rq.Query, s.err)
+			}
+		}
+		samples := make([]serveSample, len(draws))
+		errc := make(chan error, workers)
+		wallStart := time.Now()
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for i := w; i < len(draws); i += workers {
+					s := serveClient(client, nodes[i%nn].url+"/v1/optimize", reqs[draws[i]])
+					s.query = draws[i]
+					samples[i] = s
+				}
+				errc <- nil
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			<-errc
+		}
+		wall := time.Since(wallStart)
+		hits := 0
+		for _, s := range samples {
+			if s.err != nil {
+				closer()
+				return nil, fmt.Errorf("experiments: cluster stream n=%d %s: %w", nn, reqs[s.query].Query, s.err)
+			}
+			if s.hit {
+				hits++
+			}
+			if err := check(fmt.Sprintf("phase1 n=%d", nn), s.query, s.planTxt); err != nil {
+				closer()
+				return nil, err
+			}
+		}
+		fills := counterSum(nodes, "prairie_cluster_peer_fills_total")
+		rps := float64(len(draws)) / wall.Seconds()
+		closer()
+		key := fmt.Sprintf("nodes%d", nn)
+		extra[key+"_rps"] = rps
+		extra[key+"_hit_rate"] = float64(hits) / float64(len(draws))
+		extra[key+"_peer_fills"] = float64(fills)
+		t.Rows = append(t.Rows,
+			[]string{"1-scaling", fmt.Sprintf("%d-node throughput", nn), fmt.Sprintf("%.0f req/s", rps)},
+			[]string{"1-scaling", fmt.Sprintf("%d-node hit rate", nn), fmt.Sprintf("%.2f", float64(hits)/float64(len(draws)))},
+		)
+	}
+	if extra["nodes1_rps"] > 0 {
+		extra["scaling_3v1"] = extra["nodes3_rps"] / extra["nodes1_rps"]
+	}
+
+	// Phase 2 — latency ladder on two nodes: cold search vs peer fill
+	// vs local hit, classified from the responses themselves
+	// (cache_outcome / cache_hit), pooled over invalidation rounds.
+	var coldL, fillL, hitL []time.Duration
+	{
+		nodes, closer, err := startBenchCluster(reg, 2, opts.cacheSize(), workers, -1)
+		if err != nil {
+			return nil, err
+		}
+		const rounds = 5
+		for round := 0; round < rounds; round++ {
+			if round > 0 {
+				resp, err := client.Post(nodes[0].url+"/v1/invalidate", "application/json", nil)
+				if err != nil {
+					closer()
+					return nil, fmt.Errorf("experiments: cluster invalidate: %w", err)
+				}
+				resp.Body.Close()
+			}
+			for i, rq := range reqs {
+				// First touch on node0 is the cold sample: a full search
+				// (plus, for node1-owned keys, the lease round-trip).
+				s := serveClient(client, nodes[0].url+"/v1/optimize", rq)
+				if s.err != nil {
+					closer()
+					return nil, fmt.Errorf("experiments: cluster cold %s: %w", rq.Query, s.err)
+				}
+				if err := check("phase2 cold", i, s.planTxt); err != nil {
+					closer()
+					return nil, err
+				}
+				coldL = append(coldL, s.lat)
+				// Re-requests land on both nodes: node0 repeats are local
+				// hits; node1 serves its own shard as hits and node0's
+				// shard as peer fills (replication is off).
+				for rep := 0; rep < 4; rep++ {
+					for _, nd := range nodes {
+						s := serveClient(client, nd.url+"/v1/optimize", rq)
+						if s.err != nil {
+							closer()
+							return nil, fmt.Errorf("experiments: cluster warm %s: %w", rq.Query, s.err)
+						}
+						if err := check("phase2 warm", i, s.planTxt); err != nil {
+							closer()
+							return nil, err
+						}
+						switch {
+						case s.outcome == "peer_fill":
+							fillL = append(fillL, s.lat)
+						case s.hit:
+							hitL = append(hitL, s.lat)
+						}
+					}
+				}
+			}
+		}
+		closer()
+	}
+	for _, ls := range []*[]time.Duration{&coldL, &fillL, &hitL} {
+		sort.Slice(*ls, func(i, j int) bool { return (*ls)[i] < (*ls)[j] })
+	}
+	coldP50 := percentile(coldL, 0.50)
+	fillP50 := percentile(fillL, 0.50)
+	hitP50 := percentile(hitL, 0.50)
+	extra["cold_p50_us"] = float64(coldP50.Microseconds())
+	extra["cold_p95_us"] = float64(percentile(coldL, 0.95).Microseconds())
+	extra["peer_fill_p50_us"] = float64(fillP50.Microseconds())
+	extra["peer_fill_p95_us"] = float64(percentile(fillL, 0.95).Microseconds())
+	extra["local_hit_p50_us"] = float64(hitP50.Microseconds())
+	extra["peer_fill_samples"] = float64(len(fillL))
+	if fillP50 > 0 {
+		extra["cold_vs_fill_p50"] = float64(coldP50) / float64(fillP50)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"2-latency", "cold p50", durMS(coldP50)},
+		[]string{"2-latency", "peer-fill p50", durMS(fillP50)},
+		[]string{"2-latency", "local-hit p50", durMS(hitP50)},
+	)
+
+	// Phase 3 — hot-key replication: hammer the three widest pool
+	// queries through both nodes, replication off vs on. With
+	// replication on, the non-owner node promotes each key after a few
+	// fills and serves replicas locally — the owner stops seeing its
+	// traffic.
+	hot := reqs[:3]
+	const hammer = 20
+	run3 := func(hotAfter float64) (peerGets, replicaHits int64, err error) {
+		nodes, closer, err := startBenchCluster(reg, 2, opts.cacheSize(), workers, hotAfter)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer closer()
+		for rep := 0; rep < hammer; rep++ {
+			for i, rq := range hot {
+				for _, nd := range nodes {
+					s := serveClient(client, nd.url+"/v1/optimize", rq)
+					if s.err != nil {
+						return 0, 0, fmt.Errorf("experiments: cluster hot %s: %w", rq.Query, s.err)
+					}
+					if err := check("phase3", i, s.planTxt); err != nil {
+						return 0, 0, err
+					}
+					if s.outcome == "replica_hit" {
+						replicaHits++
+					}
+				}
+			}
+		}
+		return counterSum(nodes, "prairie_cluster_peer_gets_total"), replicaHits, nil
+	}
+	offGets, _, err := run3(-1)
+	if err != nil {
+		return nil, err
+	}
+	onGets, replicaHits, err := run3(2)
+	if err != nil {
+		return nil, err
+	}
+	extra["repl_off_peer_gets"] = float64(offGets)
+	extra["repl_on_peer_gets"] = float64(onGets)
+	extra["replica_hits"] = float64(replicaHits)
+	if offGets > 0 {
+		extra["repl_load_reduction"] = 1 - float64(onGets)/float64(offGets)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"3-replication", "owner gets, replication off", fmt.Sprintf("%d", offGets)},
+		[]string{"3-replication", "owner gets, replication on", fmt.Sprintf("%d", onGets)},
+		[]string{"3-replication", "replica hits", fmt.Sprintf("%d", replicaHits)},
+	)
+
+	t.Extra = extra
+	opts.attach(t)
+	return t, nil
+}

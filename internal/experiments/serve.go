@@ -28,7 +28,8 @@ type serveSample struct {
 	query   int
 	lat     time.Duration
 	hit     bool
-	shed    bool // 429/503
+	outcome string // cluster cache outcome ("peer_fill", "replica_hit"); "" otherwise
+	shed    bool   // 429/503
 	err     error
 	planTxt string
 }
@@ -63,7 +64,7 @@ func serveClient(c *http.Client, url string, req server.OptimizeRequest) serveSa
 	if err := json.Unmarshal(raw, &or); err != nil {
 		return serveSample{lat: lat, err: err}
 	}
-	return serveSample{lat: lat, hit: or.CacheHit, planTxt: or.PlanText}
+	return serveSample{lat: lat, hit: or.CacheHit, outcome: or.CacheOutcome, planTxt: or.PlanText}
 }
 
 // percentile returns the q-quantile of sorted latencies with linear

@@ -70,10 +70,11 @@ type flight[V any] struct {
 }
 
 type shard[V any] struct {
-	mu      sync.Mutex
-	items   map[Key]*list.Element // of entry[V]
-	lru     *list.List            // front = most recently used
-	flights map[Key]*flight[V]
+	mu        sync.Mutex
+	items     map[Key]*list.Element // of entry[V]
+	lru       *list.List            // front = most recently used
+	flights   map[Key]*flight[V]
+	evictions int64 // under mu; feeds ShardStat
 }
 
 // Cache is a sharded LRU with singleflight. The zero value is not
@@ -145,6 +146,26 @@ func (c *Cache[V]) Invalidate() uint64 {
 		return 0
 	}
 	return c.epoch.Add(1)
+}
+
+// AdvanceTo raises the epoch to at least e and returns the resulting
+// epoch. It never lowers the epoch: a lagging node reconciling against
+// a peer that has already invalidated adopts the newer generation,
+// while a stale peer's smaller epoch is a no-op. Concurrent local
+// Invalidates interleave safely (the result is the max either way).
+func (c *Cache[V]) AdvanceTo(e uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	for {
+		cur := c.epoch.Load()
+		if cur >= e {
+			return cur
+		}
+		if c.epoch.CompareAndSwap(cur, e) {
+			return e
+		}
+	}
 }
 
 func (c *Cache[V]) shardFor(k Key) *shard[V] {
@@ -227,7 +248,31 @@ func (s *shard[V]) put(c *Cache[V], k Key, v V) {
 		s.lru.Remove(tail)
 		delete(s.items, e.k)
 		c.evictions.Add(1)
+		s.evictions++
 	}
+}
+
+// ShardStat is one shard's occupancy and lifetime eviction count, for
+// the per-shard metrics exposition (shard imbalance under a skewed
+// keyspace shows up here before it shows up as a hit-rate regression).
+type ShardStat struct {
+	Entries   int
+	Evictions int64
+}
+
+// Shards returns a per-shard snapshot; nil when the cache is disabled.
+func (c *Cache[V]) Shards() []ShardStat {
+	if !c.Enabled() {
+		return nil
+	}
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Entries: s.lru.Len(), Evictions: s.evictions}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Len returns the number of live entries.
@@ -332,6 +377,19 @@ func (c *Cache[V]) AcquireIf(k Key, usable func(V) bool) *Acquired[V] {
 // empty-handed to run their own searches. Idempotent; no-op for hits,
 // followers, and disabled caches.
 func (a *Acquired[V]) Complete(v V, share bool) {
+	a.complete(v, share, share)
+}
+
+// CompleteShared resolves a leader's flight by handing v to every
+// waiting follower while deciding separately whether to store it. The
+// cluster layer uses store=false for entries owned by a remote shard:
+// concurrent local misses still collapse onto the fetched value, but
+// the entry does not consume local capacity (the owner keeps it).
+func (a *Acquired[V]) CompleteShared(v V, store bool) {
+	a.complete(v, true, store)
+}
+
+func (a *Acquired[V]) complete(v V, share, store bool) {
 	if !a.Leader || a.fl == nil || a.completed {
 		return
 	}
@@ -339,7 +397,7 @@ func (a *Acquired[V]) Complete(v V, share bool) {
 	s := a.c.shardFor(a.key)
 	s.mu.Lock()
 	delete(s.flights, a.key)
-	if share {
+	if store {
 		s.put(a.c, a.key, v)
 	}
 	a.fl.v, a.fl.shared = v, share

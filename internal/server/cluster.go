@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+
+	"prairie/internal/cluster"
+	"prairie/internal/obs"
+	"prairie/internal/plancache"
+	"prairie/internal/volcano"
+	"prairie/internal/wire"
+)
+
+// This file adapts the transport-and-bytes cluster layer to the
+// engine: clusterBackend answers peer requests out of the server's
+// shared plan cache (the owner side), and remoteAdapter is the
+// volcano.RemoteCache hook a serving request consults before
+// optimizing a key another node owns (the requester side). The wire
+// codec sits between them — plans travel as JSON trees any node can
+// decode against its own copy of the world's algebra, and the
+// plancache scope (a process-local nonce) never crosses the wire:
+// each node rebuilds it from the world name.
+
+// clusterBackend implements cluster.Backend over the server's shared
+// plan cache and world registry.
+type clusterBackend struct{ s *Server }
+
+func (b clusterBackend) Epoch() uint64             { return b.s.cache.Epoch() }
+func (b clusterBackend) AdvanceTo(e uint64) uint64 { return b.s.cache.AdvanceTo(e) }
+
+// key rebuilds the node-local cache key of a wire key: the world name
+// resolves to this process's rule-set scope.
+func (b clusterBackend) key(world string, fp uint64, canon string, epoch uint64) (plancache.Key, *World, bool) {
+	w, ok := b.s.cfg.Registry.Lookup(world)
+	if !ok {
+		return plancache.Key{}, nil, false
+	}
+	return plancache.Key{Fingerprint: fp, Canon: canon, Scope: w.RS.CacheScope(), Epoch: epoch}, w, true
+}
+
+func (b clusterBackend) Acquire(world string, fp uint64, canon string, epoch uint64) (cluster.Acquired, bool) {
+	k, w, ok := b.key(world, fp, canon, epoch)
+	if !ok || !b.s.cache.Enabled() {
+		return nil, false
+	}
+	return &backendAcquired{world: w, ra: b.s.cache.RemoteAcquire(k)}, true
+}
+
+func (b clusterBackend) Insert(world string, fp uint64, canon string, epoch uint64, payload []byte) bool {
+	k, w, ok := b.key(world, fp, canon, epoch)
+	if !ok || !b.s.cache.Enabled() {
+		return false
+	}
+	e, err := wire.DecodeEntry(w.RS.Algebra, payload)
+	if err != nil {
+		return false
+	}
+	b.s.cache.Insert(k, e)
+	return true
+}
+
+// backendAcquired is one owner-side lookup, bridging the cache's
+// RemoteAcquired (plans) to the peer protocol (bytes).
+type backendAcquired struct {
+	world *World
+	ra    *volcano.RemoteAcquired
+}
+
+func (a *backendAcquired) Hit() ([]byte, bool) {
+	e, ok := a.ra.Hit()
+	if !ok {
+		return nil, false
+	}
+	payload, err := wire.EncodeEntry(e)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+func (a *backendAcquired) Leader() bool { return a.ra.Leader() }
+
+func (a *backendAcquired) Wait(ctx context.Context) ([]byte, bool) {
+	e, ok := a.ra.Wait(ctx)
+	if !ok {
+		return nil, false
+	}
+	payload, err := wire.EncodeEntry(e)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+func (a *backendAcquired) Complete(payload []byte) bool {
+	e, err := wire.DecodeEntry(a.world.RS.Algebra, payload)
+	if err != nil {
+		// An undecodable put must still resolve the flight: followers
+		// are released empty to run their own searches.
+		a.ra.Abandon()
+		return false
+	}
+	a.ra.Complete(e)
+	return true
+}
+
+func (a *backendAcquired) Abandon() { a.ra.Abandon() }
+
+// remoteAdapter implements volcano.RemoteCache for one world: the
+// engine hands it plancache keys, it speaks world-name + fingerprint
+// to the cluster node and the wire codec to the payloads.
+type remoteAdapter struct {
+	node  *cluster.Node
+	world *World
+}
+
+func (r *remoteAdapter) Fetch(ctx context.Context, key plancache.Key) volcano.RemoteResult {
+	payload, promote, out := r.node.Fetch(ctx, r.world.Name, key.Fingerprint, key.Canon, key.Epoch)
+	switch out {
+	case cluster.OutcomeSelf:
+		return volcano.RemoteResult{Outcome: volcano.RemoteNone}
+	case cluster.OutcomeHit, cluster.OutcomeCollapsed:
+		e, err := wire.DecodeEntry(r.world.RS.Algebra, payload)
+		if err != nil {
+			return volcano.RemoteResult{Outcome: volcano.RemoteError}
+		}
+		o := volcano.RemoteHit
+		if out == cluster.OutcomeCollapsed {
+			o = volcano.RemoteCollapsed
+		}
+		return volcano.RemoteResult{Outcome: o, Entry: e, StoreLocal: promote}
+	case cluster.OutcomeLead:
+		return volcano.RemoteResult{Outcome: volcano.RemoteLead}
+	case cluster.OutcomeStale:
+		return volcano.RemoteResult{Outcome: volcano.RemoteStale}
+	case cluster.OutcomeMiss, cluster.OutcomeDown:
+		// A down owner degrades exactly like a miss: optimize locally.
+		return volcano.RemoteResult{Outcome: volcano.RemoteMiss}
+	default:
+		return volcano.RemoteResult{Outcome: volcano.RemoteError}
+	}
+}
+
+func (r *remoteAdapter) Offer(key plancache.Key, e volcano.RemoteEntry) bool {
+	if r.node.Owns(r.world.Name, key.Fingerprint) {
+		return true
+	}
+	if payload, err := wire.EncodeEntry(e); err == nil {
+		r.node.Offer(r.world.Name, key.Fingerprint, key.Canon, key.Epoch, payload)
+	}
+	// Store locally only when the key is hot: a cold remote-owned
+	// entry's capacity belongs to its shard.
+	return r.node.Hot(r.world.Name, key.Fingerprint)
+}
+
+// shardGauge is one cache shard's exposition pair
+// (prairie_plancache_shard_{entries,evictions}{shard="i"}).
+type shardGauge struct {
+	entries   *obs.Gauge
+	evictions *obs.Gauge
+}
+
+// remote returns the world's RemoteCache hook, nil off-cluster.
+func (s *Server) remote(world *World) volcano.RemoteCache {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.remotes[world.Name]
+}
+
+// refreshGauges publishes the point-in-time per-shard and cluster
+// gauges; the exposition handler calls it before every scrape (the
+// registry is pull-based with no collect hooks).
+func (s *Server) refreshGauges() {
+	for i, st := range s.cache.Shards() {
+		if i >= len(s.shardGauges) {
+			break
+		}
+		s.shardGauges[i].entries.Set(float64(st.Entries))
+		s.shardGauges[i].evictions.Set(float64(st.Evictions))
+	}
+	if s.cluster != nil {
+		s.cluster.RefreshGauges()
+	}
+}

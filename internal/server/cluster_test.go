@@ -1,0 +1,536 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prairie/internal/cluster"
+	"prairie/internal/obs"
+)
+
+// swapHandler lets the httptest servers come up before the cluster
+// servers that need their URLs exist (the bootstrap chicken-and-egg of
+// in-process clusters).
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// testClusterN stands up n servers over one shared registry, joined as
+// a static cluster; mutate tweaks each node's config (the cluster
+// section included) before construction.
+func testClusterN(t *testing.T, n int, mutate func(i int, cfg *Config)) ([]*Server, []*httptest.Server) {
+	t.Helper()
+	reg, err := DefaultRegistry(4, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	swaps := make([]*swapHandler, n)
+	https := make([]*httptest.Server, n)
+	peers := make([]cluster.Peer, n)
+	for i := 0; i < n; i++ {
+		swaps[i] = &swapHandler{}
+		https[i] = httptest.NewServer(swaps[i])
+		t.Cleanup(https[i].Close)
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("n%d", i), URL: https[i].URL}
+	}
+	srvs := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Registry: reg,
+			Cluster:  &cluster.Config{Self: peers[i].ID, Peers: peers},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		srvs[i] = srv
+		swaps[i].set(srv.Handler())
+	}
+	return srvs, https
+}
+
+// clusterQueries is a small pool spread over enough fingerprints that
+// both nodes of a two-node ring own some of them.
+func clusterQueries() []OptimizeRequest {
+	var reqs []OptimizeRequest
+	for _, q := range []QuerySpec{
+		{Family: "E1", N: 2}, {Family: "E1", N: 3}, {Family: "E1", N: 4},
+		{Family: "E2", N: 2}, {Family: "E2", N: 3}, {Family: "E2", N: 4},
+		{Family: "E3", N: 2}, {Family: "E3", N: 3},
+	} {
+		reqs = append(reqs, OptimizeRequest{Ruleset: "oodb/volcano", Query: q})
+	}
+	return reqs
+}
+
+// TestClusterPeerFill drives the full peer-fill ladder on two nodes:
+// a cold optimization on the owning node, a peer fill on the other,
+// and — with an aggressive promotion threshold — a replica hit once
+// the key crosses into the replicated tier. Every answer must match
+// the cold plan byte-for-byte.
+func TestClusterPeerFill(t *testing.T) {
+	// Threshold 1.5: the second fill's decayed score (~2 minus epsilon)
+	// promotes, so the third request must be served from the replica.
+	_, https := testClusterN(t, 2, func(i int, cfg *Config) {
+		cfg.Cluster.HotAfter = 1.5
+	})
+	// Find a query whose fingerprint n0 owns: its cold run stores it on
+	// n0, so n1's first request must answer as a peer fill.
+	var filled OptimizeRequest
+	var ref string
+	for _, rq := range clusterQueries() {
+		cold := optimizeOK(t, https[0].URL, rq)
+		if cold.CacheOutcome != "" {
+			t.Fatalf("cold %v on n0: unexpected cache outcome %q", rq.Query, cold.CacheOutcome)
+		}
+		warm := optimizeOK(t, https[1].URL, rq)
+		if warm.PlanText != cold.PlanText {
+			t.Fatalf("%v: n1 plan %q != n0 plan %q", rq.Query, warm.PlanText, cold.PlanText)
+		}
+		if warm.CacheOutcome == "peer_fill" {
+			filled, ref = rq, cold.PlanText
+			break
+		}
+	}
+	if ref == "" {
+		t.Fatal("no query owned by n0 in the pool (ring pathologically unbalanced?)")
+	}
+	// The second fill crosses the threshold and replicates the entry
+	// locally; the third request must be served as a replica hit without
+	// a peer round-trip.
+	second := optimizeOK(t, https[1].URL, filled)
+	if second.CacheOutcome != "peer_fill" {
+		t.Fatalf("second n1 request: outcome %q, want peer_fill", second.CacheOutcome)
+	}
+	third := optimizeOK(t, https[1].URL, filled)
+	if third.CacheOutcome != "replica_hit" {
+		t.Fatalf("third n1 request: outcome %q, want replica_hit", third.CacheOutcome)
+	}
+	if !third.CacheHit {
+		t.Fatal("replica hit must report cache_hit")
+	}
+	for _, r := range []OptimizeResponse{second, third} {
+		if r.PlanText != ref {
+			t.Fatalf("peer-served plan %q != cold reference %q", r.PlanText, ref)
+		}
+	}
+}
+
+// TestClusterPeerDownFallback proves peer failure degrades instead of
+// erroring: with the peer unreachable, every request still answers
+// (the node optimizes locally), and after the failure threshold the
+// peer is reported down on /healthz.
+func TestClusterPeerDownFallback(t *testing.T) {
+	// A dead port: bind, note the address, close again.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	reg, err := DefaultRegistry(4, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Registry: reg,
+		Cluster: &cluster.Config{
+			Self: "a",
+			Peers: []cluster.Peer{
+				{ID: "a"},
+				{ID: "b", URL: deadURL},
+			},
+			DownAfter:   1,
+			PeerTimeout: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	// Reference plans from a plain single-node server.
+	_, ref := testServer(t, nil)
+	for _, rq := range clusterQueries() {
+		want := optimizeOK(t, ref.URL, rq)
+		got := optimizeOK(t, hs.URL, rq)
+		if got.PlanText != want.PlanText {
+			t.Fatalf("%v: with peer down, plan %q != reference %q", rq.Query, got.PlanText, want.PlanText)
+		}
+		if got.CacheOutcome != "" {
+			t.Fatalf("%v: outcome %q with the only peer down", rq.Query, got.CacheOutcome)
+		}
+	}
+	st := srv.ClusterStatus()
+	if st == nil {
+		t.Fatal("no cluster status on a clustered server")
+	}
+	if len(st.PeersDown) != 1 || st.PeersDown[0] != "b" {
+		t.Fatalf("peers down = %v, want [b]", st.PeersDown)
+	}
+	// The same surface over HTTP: /healthz carries the cluster section.
+	resp, body := httpGet(t, hs.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var hb struct {
+		Cluster *cluster.Status `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Cluster == nil || hb.Cluster.NodeID != "a" || hb.Cluster.PeerCount != 2 {
+		t.Fatalf("healthz cluster section = %+v", hb.Cluster)
+	}
+	if len(hb.Cluster.PeersDown) != 1 || hb.Cluster.PeersDown[0] != "b" {
+		t.Fatalf("healthz peers_down = %v, want [b]", hb.Cluster.PeersDown)
+	}
+}
+
+func httpGet(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf
+}
+
+// TestClusterEpochInvalidation proves an invalidation on one node cuts
+// cached plans off cluster-wide: the fan-out advances the peer's epoch
+// synchronously, so a request served by the lagging peer immediately
+// after can neither hit its own stale shard nor be served a stale
+// entry by the owner. Concurrent optimizations run throughout — the
+// interesting interleavings are exactly the racy ones.
+func TestClusterEpochInvalidation(t *testing.T) {
+	srvs, https := testClusterN(t, 2, nil)
+	rq := OptimizeRequest{Ruleset: "oodb/volcano", Query: QuerySpec{Family: "E2", N: 4}}
+	ref := optimizeOK(t, https[0].URL, rq)
+	optimizeOK(t, https[1].URL, rq) // warm both nodes
+
+	// Concurrent load on both nodes while the epoch moves.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := optimizeOK(t, https[w].URL, rq)
+				if r.PlanText != ref.PlanText {
+					t.Errorf("concurrent plan diverged: %q", r.PlanText)
+					return
+				}
+			}
+		}(w)
+	}
+	resp, body := postJSON(t, https[0].URL+"/v1/invalidate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invalidate: status %d: %s", resp.StatusCode, body)
+	}
+	var inv map[string]uint64
+	if err := json.Unmarshal(body, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv["peers_notified"] != 1 {
+		t.Fatalf("peers_notified = %d, want 1", inv["peers_notified"])
+	}
+	close(stop)
+	wg.Wait()
+
+	// The lagging peer must have adopted the new epoch synchronously.
+	if e0, e1 := srvs[0].Cache().Epoch(), srvs[1].Cache().Epoch(); e1 < e0 {
+		t.Fatalf("peer epoch %d lags invalidator epoch %d", e1, e0)
+	}
+	// The concurrent load legitimately re-warms the new epoch, so the
+	// recomputation check needs a quiet second invalidation: with no
+	// traffic in between, the next request on the peer can be served
+	// neither from its own shard nor by the owner.
+	resp, body = postJSON(t, https[0].URL+"/v1/invalidate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second invalidate: status %d: %s", resp.StatusCode, body)
+	}
+	after := optimizeOK(t, https[1].URL, rq)
+	if after.CacheHit || after.CacheOutcome != "" {
+		t.Fatalf("post-invalidate request: hit=%v outcome=%q, want a recomputation",
+			after.CacheHit, after.CacheOutcome)
+	}
+	if after.PlanText != ref.PlanText {
+		t.Fatalf("post-invalidate plan %q != reference %q", after.PlanText, ref.PlanText)
+	}
+}
+
+// TestClusterSingleflightCollapse fires concurrent cold requests for
+// one key at both nodes: the cluster-wide singleflight must collapse
+// them onto a single optimization — exactly one cache put across the
+// cluster, every response carrying the same plan.
+func TestClusterSingleflightCollapse(t *testing.T) {
+	srvs, https := testClusterN(t, 2, nil)
+	rq := OptimizeRequest{Ruleset: "oodb/volcano", Query: QuerySpec{Family: "E2", N: 4}}
+
+	const perNode = 4
+	type res struct {
+		plan string
+		err  error
+	}
+	results := make(chan res, 2*perNode)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for node := 0; node < 2; node++ {
+		for i := 0; i < perNode; i++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				start.Wait()
+				body, err := json.Marshal(rq)
+				if err != nil {
+					results <- res{err: err}
+					return
+				}
+				resp, err := http.Post(https[node].URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					results <- res{err: err}
+					return
+				}
+				defer resp.Body.Close()
+				raw, err := io.ReadAll(resp.Body)
+				if err != nil {
+					results <- res{err: err}
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					results <- res{err: fmt.Errorf("status %d: %s", resp.StatusCode, raw)}
+					return
+				}
+				var or OptimizeResponse
+				if err := json.Unmarshal(raw, &or); err != nil {
+					results <- res{err: err}
+					return
+				}
+				results <- res{plan: or.PlanText}
+			}(node)
+		}
+	}
+	start.Done()
+	wg.Wait()
+	close(results)
+	plans := map[string]int{}
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		plans[r.plan]++
+	}
+	if len(plans) != 1 {
+		t.Fatalf("divergent plans under collapse: %v", plans)
+	}
+	var puts int64
+	for _, s := range srvs {
+		puts += s.Cache().Snapshot().Puts
+	}
+	if puts != 1 {
+		t.Fatalf("cluster-wide puts = %d, want 1 (collapse failed)", puts)
+	}
+}
+
+// TestClusterNeutral proves the no-peers path is inert: a server with
+// a self-only cluster config must answer byte-identically to a server
+// with no cluster layer at all, cold and warm.
+func TestClusterNeutral(t *testing.T) {
+	_, plain := testServer(t, nil)
+	reg, err := DefaultRegistry(4, 101, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Registry: reg,
+		Cluster:  &cluster.Config{Self: "solo"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	solo := httptest.NewServer(srv.Handler())
+	t.Cleanup(solo.Close)
+
+	norm := func(r OptimizeResponse) string {
+		r.ElapsedUS = 0
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	for pass := 0; pass < 2; pass++ { // cold, then warm
+		for _, rq := range clusterQueries() {
+			rq.IncludePlan = true
+			want := norm(optimizeOK(t, plain.URL, rq))
+			got := norm(optimizeOK(t, solo.URL, rq))
+			if got != want {
+				t.Fatalf("pass %d %v: self-only cluster response differs:\n got %s\nwant %s",
+					pass, rq.Query, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterDifferential extends the service-equivalence check across
+// nodes: for every pool query, the peer-filled answer one node serves
+// must be byte-identical — full plan tree, cost, and rendering — to
+// the cold optimization the other node ran.
+func TestClusterDifferential(t *testing.T) {
+	_, https := testClusterN(t, 2, nil)
+	for _, rq := range clusterQueries() {
+		rq.IncludePlan = true
+		cold := optimizeOK(t, https[0].URL, rq)
+		warm := optimizeOK(t, https[1].URL, rq)
+		if warm.PlanText != cold.PlanText || warm.Cost != cold.Cost {
+			t.Fatalf("%v: peer answer (%q, %g) != cold (%q, %g)",
+				rq.Query, warm.PlanText, warm.Cost, cold.PlanText, cold.Cost)
+		}
+		cp, err := json.Marshal(cold.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := json.Marshal(warm.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cp) != string(wp) {
+			t.Fatalf("%v: peer plan tree differs from cold:\n got %s\nwant %s", rq.Query, wp, cp)
+		}
+	}
+}
+
+// TestClusterShardMetrics checks the per-shard and cluster series land
+// in the Prometheus-text exposition.
+func TestClusterShardMetrics(t *testing.T) {
+	_, https := testClusterN(t, 2, func(i int, cfg *Config) {
+		cfg.Obs = &obs.Observer{Metrics: obs.NewRegistry()}
+	})
+	for _, rq := range clusterQueries() {
+		optimizeOK(t, https[0].URL, rq)
+		optimizeOK(t, https[1].URL, rq)
+	}
+	_, body := httpGet(t, https[0].URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		`prairie_plancache_shard_entries{shard="0"}`,
+		`prairie_plancache_shard_evictions{shard="0"}`,
+		"prairie_cluster_peers_down",
+		"prairie_cluster_served_gets_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// BenchmarkClusterGuard backs `make cluster-guard`: the same serving
+// workload with no cluster layer ("off"), a self-only cluster attached
+// ("disabled" — every key self-owned, the remote hook answers without
+// an RPC), and a real two-node cluster ("on", informational). The
+// cache is invalidated every iteration so each pass pays for a genuine
+// miss — the path where the cluster hook actually runs.
+func BenchmarkClusterGuard(b *testing.B) {
+	reg, err := DefaultRegistry(4, 101, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(OptimizeRequest{
+		Ruleset: "oodb/volcano",
+		Query:   QuerySpec{Family: "E2", N: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := func(b *testing.B, srv *Server) {
+		b.Helper()
+		b.ReportAllocs()
+		h := srv.Handler()
+		for i := 0; i < b.N; i++ {
+			srv.Cache().Invalidate()
+			r := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(body))
+			r.Header.Set("Content-Type", "application/json")
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, r)
+			if rr.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+			}
+		}
+	}
+	newSrv := func(cfg Config) *Server {
+		cfg.Registry = reg
+		srv, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	b.Run("miss/off", func(b *testing.B) {
+		bench(b, newSrv(Config{}))
+	})
+	b.Run("miss/disabled", func(b *testing.B) {
+		srv := newSrv(Config{Cluster: &cluster.Config{Self: "solo"}})
+		defer srv.Close()
+		bench(b, srv)
+	})
+	b.Run("miss/on", func(b *testing.B) {
+		swap := &swapHandler{}
+		peer := httptest.NewServer(swap)
+		defer peer.Close()
+		self := httptest.NewServer(http.NotFoundHandler())
+		defer self.Close()
+		peers := []cluster.Peer{{ID: "a", URL: self.URL}, {ID: "b", URL: peer.URL}}
+		peerSrv := newSrv(Config{Cluster: &cluster.Config{Self: "b", Peers: peers}})
+		defer peerSrv.Close()
+		swap.set(peerSrv.Handler())
+		srv := newSrv(Config{Cluster: &cluster.Config{Self: "a", Peers: peers}})
+		defer srv.Close()
+		bench(b, srv)
+	})
+}

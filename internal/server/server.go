@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prairie/internal/cluster"
 	"prairie/internal/exec"
 	"prairie/internal/obs"
 	"prairie/internal/volcano"
@@ -77,6 +78,13 @@ type Config struct {
 	// ExecWorkers bounds executor parallelism for executed requests;
 	// 0 = GOMAXPROCS, negative = serial.
 	ExecWorkers int
+	// Cluster joins this server to a static peer group sharing one
+	// logical plan cache (see internal/cluster): each canonical query
+	// fingerprint gets an owning node on a consistent-hash ring, local
+	// misses ask the owner before optimizing, and invalidations fan
+	// out. nil (the default) keeps the server single-node and its
+	// request path byte-identical to a build without the cluster layer.
+	Cluster *cluster.Config
 }
 
 func (c *Config) maxInflight() int {
@@ -193,6 +201,14 @@ type Server struct {
 	mux          *http.ServeMux
 	started      time.Time
 
+	// cluster is the node's membership when Config.Cluster is set (nil
+	// single-node); remotes holds the per-world RemoteCache hooks and
+	// shardGauges the per-shard exposition gauges refreshed at scrape
+	// time.
+	cluster     *cluster.Node
+	remotes     map[string]volcano.RemoteCache
+	shardGauges []shardGauge
+
 	// metrics (nil registry → nil metrics, every sink is nil-safe)
 	mRequests  *obs.Counter
 	mShed429   *obs.Counter
@@ -249,23 +265,75 @@ func New(cfg Config) (*Server, error) {
 			obs.PhaseExec:      reg.Histogram("prairie_phase_exec_seconds", nil),
 		}
 	}
+	if reg := cfg.Obs.MetricsOrNil(); reg != nil {
+		// One gauge pair per cache shard; the count is fixed at
+		// construction, the values refresh at scrape time.
+		for i := range s.cache.Shards() {
+			shard := fmt.Sprintf("%d", i)
+			s.shardGauges = append(s.shardGauges, shardGauge{
+				entries:   reg.Gauge(obs.Label("prairie_plancache_shard_entries", "shard", shard)),
+				evictions: reg.Gauge(obs.Label("prairie_plancache_shard_evictions", "shard", shard)),
+			})
+		}
+	}
+	if cfg.Cluster != nil {
+		node, err := cluster.New(*cfg.Cluster, clusterBackend{s: s}, cfg.Obs.MetricsOrNil())
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = node
+		s.remotes = make(map[string]volcano.RemoteCache)
+		for _, name := range cfg.Registry.Names() {
+			world, _ := cfg.Registry.Lookup(name)
+			s.remotes[name] = &remoteAdapter{node: node, world: world}
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/optimize", s.guard(s.handleOptimize))
 	s.mux.HandleFunc("/v1/batch", s.guard(s.handleBatch))
 	s.mux.HandleFunc("/v1/rulesets", s.guard(s.handleRulesets))
 	s.mux.HandleFunc("/v1/invalidate", s.guard(s.handleInvalidate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cluster != nil {
+		s.mux.Handle(cluster.PathPrefix, s.cluster.Handler())
+	}
 	// Observability exposition: delegate to the obs mux so the service
-	// surface and the standalone exposition stay identical.
+	// surface and the standalone exposition stay identical; the wrapper
+	// publishes the point-in-time shard/cluster gauges first.
 	om := obs.NewMux(cfg.Obs.MetricsOrNil(), cfg.Obs.TracerOrNil(), cfg.Flight)
+	oh := http.Handler(om)
+	if len(s.shardGauges) > 0 || s.cluster != nil {
+		oh = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.refreshGauges()
+			om.ServeHTTP(w, r)
+		})
+	}
 	paths := []string{"/metrics", "/vars", "/trace", "/debug/pprof/"}
 	if cfg.Flight.Enabled() {
 		paths = append(paths, "/v1/debug/requests", "/v1/debug/requests/")
 	}
 	for _, p := range paths {
-		s.mux.Handle(p, om)
+		s.mux.Handle(p, oh)
 	}
 	return s, nil
+}
+
+// Close releases the server's cluster membership (outstanding leases
+// are abandoned, in-flight offers drained); call it after Drain on
+// shutdown. Safe on a single-node server.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
+
+// ClusterStatus snapshots the cluster membership; nil single-node.
+func (s *Server) ClusterStatus() *cluster.Status {
+	if s.cluster == nil {
+		return nil
+	}
+	st := s.cluster.Status()
+	return &st
 }
 
 // Handler returns the service's HTTP handler.
@@ -527,6 +595,11 @@ type OptimizeResponse struct {
 	DegradeCause string    `json:"degrade_cause,omitempty"`
 	DegradePath  string    `json:"degrade_path,omitempty"`
 	CacheHit     bool      `json:"cache_hit"`
+	// CacheOutcome is set only when the cluster layer served the plan:
+	// "peer_fill" (fetched from the key's owning node) or "replica_hit"
+	// (served from a local hot-key replica of a remotely-owned entry).
+	// Always empty single-node, keeping the response byte-identical.
+	CacheOutcome string `json:"cache_outcome,omitempty"`
 	// PlannerTier reports which tier produced the plan ("full" or
 	// "greedy"); Refined marks plans served from a cache entry
 	// hot-swapped in by a background refinement. GreedyCost/FullCost
@@ -591,6 +664,7 @@ func (s *Server) optimizeOne(ctx context.Context, world *World, req OptimizeRequ
 	opt.Opts.Cache = s.cache
 	opt.Opts.Tier = tier
 	opt.Opts.Router = s.router
+	opt.Opts.Remote = s.remote(world)
 	opt.Opts.Phases = rec.PhaseClock() // nil clock when unrecorded: timing off
 	if rec != nil || s.cfg.Log != nil {
 		opt.Opts.OnRefine = s.refineHook(rec)
@@ -658,6 +732,14 @@ func (s *Server) recordOutcome(rec *obs.RequestRecord, tier volcano.TierMode, st
 	switch {
 	case !s.cache.Enabled():
 		outcome = "bypass"
+	case st.ReplicaHits > 0:
+		// Before the plain-hit check: a replica hit is a local hit on a
+		// hot-key replica of a remotely-owned entry.
+		outcome = "replica_hit"
+	case st.PeerFills > 0:
+		// Before the flight-collapsed check: a cluster-collapsed fill
+		// also counts FlightShared.
+		outcome = "peer_fill"
 	case st.FlightShared > 0:
 		outcome = "flight-collapsed"
 	case st.CacheHits > 0 && st.CacheMisses == 0:
@@ -766,6 +848,12 @@ func (s *Server) buildResponse(world *World, q QuerySpec, plan *volcano.PExpr, s
 			ImplFired:  sumCounts(st.ImplFired),
 			CostedPlan: st.CostedPlans,
 		},
+	}
+	switch {
+	case st.ReplicaHits > 0:
+		resp.CacheOutcome = "replica_hit"
+	case st.PeerFills > 0:
+		resp.CacheOutcome = "peer_fill"
 	}
 	if st.Degraded {
 		resp.DegradeCause = st.DegradeCause.String()
@@ -920,7 +1008,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			RS:      world.RS,
 			Tree:    tree,
 			Req:     want,
-			Opts:    volcano.Options{Budget: budget, Tier: tier},
+			Opts:    volcano.Options{Budget: budget, Tier: tier, Remote: s.remote(world)},
 			Timeout: s.timeout(it.TimeoutMS),
 		}
 	}
@@ -1001,6 +1089,15 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := s.cache.Invalidate()
+	if s.cluster != nil {
+		// Fan the new epoch out to every live peer; a down peer
+		// reconciles on its next exchange (epochs are monotonic, so
+		// double delivery is harmless).
+		notified := s.cluster.BroadcastEpoch(r.Context(), epoch)
+		writeJSON(w, http.StatusOK, map[string]uint64{
+			"epoch": epoch, "peers_notified": uint64(notified)})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": epoch})
 }
 
@@ -1013,6 +1110,9 @@ type healthBody struct {
 	QueueDepth int64  `json:"queue_depth"`
 	Draining   bool   `json:"draining"`
 	CacheEpoch uint64 `json:"cache_epoch"`
+	// Cluster reports the node's membership when clustering is on:
+	// node id, peer count, currently-down peers, promoted hot keys.
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -1025,6 +1125,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Inflight:   inflight,
 		QueueDepth: s.waiting.Load(),
 		CacheEpoch: s.cache.Epoch(),
+		Cluster:    s.ClusterStatus(),
 	}
 	code := http.StatusOK
 	if s.draining.Load() {

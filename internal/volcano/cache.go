@@ -109,6 +109,10 @@ type cachedPlan struct {
 	tier       TierMode
 	refined    bool
 	greedyCost float64
+	// replica marks a hot-key replica of an entry owned by a remote
+	// cluster shard (zero off-cluster): hits on it count as ReplicaHits
+	// so the replication tier's effect is observable.
+	replica bool
 }
 
 // cacheSeed is one warm-start candidate: a proper subtree of the query,
@@ -168,6 +172,19 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 	if req == nil {
 		req = core.NewDescriptor(o.RS.Algebra.Props)
 	}
+	// A stale-epoch answer from the owning peer means the cluster layer
+	// just advanced the local epoch: rebuild the key under the new
+	// generation and retry once. The bound matters — a peer that keeps
+	// racing ahead must not starve this request, so the second attempt
+	// treats a further stale answer as a plain miss.
+	plan, err, retry := o.cachedOptimizeOnce(ctx, tree, req, true)
+	if retry {
+		plan, err, _ = o.cachedOptimizeOnce(ctx, tree, req, false)
+	}
+	return plan, err
+}
+
+func (o *Optimizer) cachedOptimizeOnce(ctx context.Context, tree *core.Expr, req *core.Descriptor, allowStaleRetry bool) (*PExpr, error, bool) {
 	pc := o.Opts.Cache
 	ph := o.Opts.Phases
 	var phStart time.Time
@@ -182,11 +199,14 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 	a := pc.c.AcquireIf(key, func(cp cachedPlan) bool { return cp.tier == TierFull })
 	if a.Hit {
 		o.Stats.CacheHits++
+		if a.Value.replica {
+			o.Stats.ReplicaHits++
+		}
 		plan := o.cacheHit(a.Value)
 		if ph != nil {
 			ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
 		}
-		return plan, nil
+		return plan, nil, false
 	}
 	if !a.Leader {
 		o.Stats.FlightWaits++
@@ -199,7 +219,10 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 		if err == nil && ok && cp.tier == TierFull {
 			o.Stats.FlightShared++
 			o.Stats.CacheHits++
-			return o.cacheHit(cp), nil
+			if cp.replica {
+				o.Stats.ReplicaHits++
+			}
+			return o.cacheHit(cp), nil, false
 		}
 		// Leader declined to share, shared a plan of the wrong tier (a
 		// greedy-tier leader publishing its fast-path plan), or our wait
@@ -209,31 +232,75 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 		o.Stats.CacheMisses++
 		plan, err := o.optimizeContext(ctx, tree, req)
 		if err == nil && plan != nil && !o.Stats.Degraded {
-			pc.c.Put(key, cachedPlan{
+			cp := cachedPlan{
 				plan:      plan.Clone(),
 				cost:      plan.Cost(o.RS.Class),
 				groups:    o.Stats.Groups,
 				exprs:     o.Stats.Exprs,
 				merges:    o.Stats.Merges,
 				memoBytes: o.Stats.MemoBytes,
-			})
+			}
+			if rem := o.Opts.Remote; rem != nil {
+				// A remotely-owned entry's capacity belongs to its shard:
+				// offer it to the owner and store locally only when the
+				// cluster layer says so (self-owned or hot).
+				if rem.Offer(key, entryOf(cp)) {
+					pc.c.Put(key, cp)
+				}
+			} else {
+				pc.c.Put(key, cp)
+			}
 		}
-		return plan, err
+		return plan, err, false
 	}
 	o.Stats.CacheMisses++
+	// A panicking rule hook must not wedge followers: the deferred
+	// no-share Complete is idempotent, so the success path below wins
+	// when it runs first. Registered before the peer fetch so a panic
+	// there cannot wedge them either.
+	defer a.Complete(cachedPlan{}, false)
+	if rem := o.Opts.Remote; rem != nil {
+		// Local miss, and this request leads the local flight: ask the
+		// key's owning peer before optimizing. The fetch happens inside
+		// the cache phase — a peer fill is cache time, not search time.
+		res := rem.Fetch(ctx, key)
+		switch res.Outcome {
+		case RemoteHit, RemoteCollapsed:
+			cp := cachedPlanOf(res.Entry, res.StoreLocal)
+			a.CompleteShared(cp, res.StoreLocal)
+			o.Stats.PeerFills++
+			if res.Outcome == RemoteCollapsed {
+				o.Stats.FlightShared++
+			}
+			plan := o.cacheHit(cp)
+			if ph != nil {
+				ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
+			}
+			return plan, nil, false
+		case RemoteStale:
+			if allowStaleRetry {
+				// The cluster layer advanced our epoch; release the dead
+				// flight and let the caller rebuild the key.
+				a.Complete(cachedPlan{}, false)
+				return nil, nil, true
+			}
+			// Out of retries: fall through and optimize under the stale
+			// key (the entry becomes unreachable garbage, never a wrong
+			// answer — keys embed their epoch).
+		}
+		// RemoteLead / RemoteMiss / RemoteError / RemoteNone: optimize
+		// locally. A lead's result is offered back to the owner below,
+		// completing the cluster-wide flight.
+	}
 	if ph != nil {
 		ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
 	}
-	// A panicking rule hook must not wedge followers: the deferred
-	// no-share Complete is idempotent, so the success path below wins
-	// when it runs first.
-	defer a.Complete(cachedPlan{}, false)
 	o.warm = true
 	plan, err := o.optimizeContext(ctx, tree, req)
 	o.warm = false
 	if err != nil || plan == nil || o.Stats.Degraded {
 		a.Complete(cachedPlan{}, false)
-		return plan, err
+		return plan, err, false
 	}
 	cp := cachedPlan{
 		plan:      plan.Clone(),
@@ -243,8 +310,16 @@ func (o *Optimizer) cachedOptimize(ctx context.Context, tree *core.Expr, req *co
 		merges:    o.Stats.Merges,
 		memoBytes: o.Stats.MemoBytes,
 	}
-	a.Complete(cp, true)
-	return plan, nil
+	if rem := o.Opts.Remote; rem != nil {
+		// Share with local followers unconditionally; store locally only
+		// when the cluster layer keeps the capacity here (self-owned key
+		// or hot-promoted replica). The offer also completes any lease
+		// the owner granted this node.
+		a.CompleteShared(cp, rem.Offer(key, entryOf(cp)))
+	} else {
+		a.Complete(cp, true)
+	}
+	return plan, nil, false
 }
 
 // cacheHit materializes a cache entry as this run's result: the plan is

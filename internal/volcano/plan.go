@@ -61,6 +61,23 @@ func (p *PExpr) ToExpr() *core.Expr {
 	return core.NewNode(p.Alg, p.D, kids...)
 }
 
+// PlanFromExpr rebuilds a PExpr from a core operator tree — the
+// inverse of ToExpr, sharing descriptors the same way. The wire codec
+// uses it to rehydrate peer-fetched plans into cacheable entries.
+func PlanFromExpr(e *core.Expr) *PExpr {
+	if e == nil {
+		return nil
+	}
+	if e.IsLeaf() {
+		return &PExpr{File: e.File, D: e.D}
+	}
+	kids := make([]*PExpr, len(e.Kids))
+	for i, k := range e.Kids {
+		kids[i] = PlanFromExpr(k)
+	}
+	return &PExpr{Alg: e.Op, D: e.D, Kids: kids}
+}
+
 // String renders the plan in functional notation, e.g.
 // "Merge_sort(Nested_loops(File_scan(R1), File_scan(R2)))".
 func (p *PExpr) String() string {

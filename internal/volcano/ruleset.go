@@ -290,6 +290,12 @@ func (rs *RuleSet) commutative(op *core.Operation) bool { return rs.index().comm
 // cacheScope returns the rule set's process-unique plan-cache scope.
 func (rs *RuleSet) cacheScope() uint64 { rs.index(); return rs.cacheID }
 
+// CacheScope exposes the rule set's plan-cache scope. The scope is
+// process-unique (a counter, not a content hash), so it never travels
+// on the wire: the cluster peer protocol identifies rule sets by world
+// name and each node resolves the name to its own local scope.
+func (rs *RuleSet) CacheScope() uint64 { return rs.cacheScope() }
+
 // idProps returns the properties that identify an expression of op in
 // duplicate detection (and in the plan-cache fingerprint): the
 // operation's declared additional parameters intersected with the

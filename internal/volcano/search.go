@@ -95,6 +95,14 @@ type Options struct {
 	// so its outcome can be linked back to the originating request. The
 	// callback must be safe to invoke after the request completed.
 	OnRefine func(RefineOutcome)
+	// Remote attaches a cluster peer-fill hook consulted by cache-miss
+	// leaders before searching (see remote.go): the key's owning peer
+	// may answer from its shard, park this node behind a cluster-wide
+	// flight, or grant it the lead. nil — the default — keeps every
+	// cluster touchpoint a single untaken branch, leaving single-node
+	// runs byte-identical. Remote applies only to the full-tier cached
+	// path: the peer protocol never transports greedy plans.
+	Remote RemoteCache
 }
 
 // DefaultMaxExprs is the default search-space cap.

@@ -61,6 +61,13 @@ type Stats struct {
 	WarmSeeds    int
 	FlightWaits  int
 	FlightShared int
+	// Cluster accounting (zero off-cluster, keeping single-node runs
+	// byte-identical): PeerFills counts misses answered by the key's
+	// owning peer instead of a local search (including cross-node flight
+	// collapses), ReplicaHits local hits served from a hot-key replica
+	// of a remotely-owned entry.
+	PeerFills   int
+	ReplicaHits int
 
 	// Tiered-planner provenance (all zero on full-tier runs, so
 	// untiered Stats render byte-identically to previous releases):
@@ -166,6 +173,8 @@ func (s *Stats) Merge(o *Stats) {
 	s.WarmSeeds += o.WarmSeeds
 	s.FlightWaits += o.FlightWaits
 	s.FlightShared += o.FlightShared
+	s.PeerFills += o.PeerFills
+	s.ReplicaHits += o.ReplicaHits
 	s.MemoBytes += o.MemoBytes
 	s.BudgetChecks += o.BudgetChecks
 	mergeCounts(&s.TransMatched, o.TransMatched)
@@ -286,8 +295,14 @@ func (s *Stats) String() string {
 	}
 	b.WriteByte('\n')
 	if s.CacheHits+s.CacheMisses+s.WarmSeeds+s.FlightWaits+s.FlightShared > 0 {
-		fmt.Fprintf(&b, "cache: hits=%d misses=%d seeds=%d waits=%d shared=%d\n",
+		fmt.Fprintf(&b, "cache: hits=%d misses=%d seeds=%d waits=%d shared=%d",
 			s.CacheHits, s.CacheMisses, s.WarmSeeds, s.FlightWaits, s.FlightShared)
+		// Cluster counters render only when cluster traffic happened, so
+		// single-node output stays byte-identical.
+		if s.PeerFills+s.ReplicaHits > 0 {
+			fmt.Fprintf(&b, " peer_fills=%d replica_hits=%d", s.PeerFills, s.ReplicaHits)
+		}
+		b.WriteByte('\n')
 	}
 	if s.Tier != "" || s.Refined {
 		fmt.Fprintf(&b, "tier: %s refined=%v", tierOrFull(s.Tier), s.Refined)
