@@ -15,10 +15,12 @@
 // Clustering (see internal/cluster): a static peer list shards the plan
 // cache across nodes by consistent hashing; local misses fetch from the
 // key's owner over /v1/peer/* before optimizing, and invalidations fan
-// out to every peer:
+// out to every peer. The peer endpoints are authenticated by a shared
+// secret (-cluster-secret or $PRAIRIE_CLUSTER_SECRET), identical on
+// every member:
 //
-//	optserve -addr :8080 -node-id a -peers 'a=,b=http://10.0.0.2:8080'
-//	optserve -addr :8080 -node-id b -peers 'a=http://10.0.0.1:8080,b='
+//	optserve -addr :8080 -node-id a -peers 'a=,b=http://10.0.0.2:8080' -cluster-secret S
+//	optserve -addr :8080 -node-id b -peers 'a=http://10.0.0.1:8080,b=' -cluster-secret S
 //
 //	curl -s localhost:8080/v1/rulesets
 //	curl -s localhost:8080/v1/optimize -d '{
@@ -66,6 +68,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	nodeID := flag.String("node-id", "", "this node's cluster member id; empty runs single-node with no cluster layer")
 	peersFlag := flag.String("peers", "", "static cluster membership as id=url,id=url,... (must include -node-id; its url may be empty)")
+	clusterSecret := flag.String("cluster-secret", os.Getenv("PRAIRIE_CLUSTER_SECRET"), "shared secret authenticating /v1/peer/* RPCs; identical on every member, required with remote -peers (defaults to $PRAIRIE_CLUSTER_SECRET)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "peer RPC transport budget (0 = 250ms)")
 	hotAfter := flag.Float64("hot-after", 0, "decayed peer-fill rate that promotes a key into the replicated tier (0 = default, negative disables)")
 	flag.Parse()
@@ -111,6 +114,7 @@ func main() {
 		clusterCfg = &cluster.Config{
 			Self:        *nodeID,
 			Peers:       peers,
+			Secret:      *clusterSecret,
 			PeerTimeout: *peerTimeout,
 			HotAfter:    *hotAfter,
 		}

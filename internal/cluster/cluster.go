@@ -33,6 +33,14 @@ type Config struct {
 	// Peers is the full static membership, including Self. Empty means
 	// a single-node cluster of just Self.
 	Peers []Peer
+	// Secret authenticates the peer protocol: every peer RPC carries it
+	// in AuthHeader and Handler rejects mismatches. It is required when
+	// Peers names any remote member — the peer endpoints are mounted on
+	// the public API mux, and without authentication any client that
+	// can reach the service could poison owned cache slots (put) or
+	// advance the cluster epoch (epoch). Every member must be
+	// configured with the same value.
+	Secret string
 	// VNodes is the virtual-node count per member (DefaultVNodes).
 	VNodes int
 	// PeerTimeout bounds the transport time of one peer RPC beyond any
@@ -126,6 +134,10 @@ const (
 	PeerEpochPath = "/v1/peer/epoch"
 )
 
+// AuthHeader carries Config.Secret on every peer RPC; Handler rejects
+// requests whose header does not match.
+const AuthHeader = "X-Prairie-Cluster-Key"
+
 // Outcome classifies one Fetch.
 type Outcome int
 
@@ -161,8 +173,10 @@ func (o Outcome) String() string {
 	}
 }
 
-// getRequest asks the owner for one entry. WaitMS is how long the
-// requester is willing to be parked behind an in-progress flight.
+// getRequest asks the owner for one entry. WaitMS is the requester's
+// parking budget behind an in-progress flight: zero (or absent) means
+// it has no time left and must not be parked at all — the owner
+// answers a follower position as an immediate miss.
 type getRequest struct {
 	World  string `json:"world"`
 	FP     uint64 `json:"fp"`
@@ -185,7 +199,12 @@ type putRequest struct {
 	FP      uint64          `json:"fp"`
 	Canon   string          `json:"canon"`
 	Epoch   uint64          `json:"epoch"`
-	Payload json.RawMessage `json:"payload"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Abandon releases any lease the owner holds for this key without
+	// a payload: the granted leader's optimization errored or degraded
+	// (or its offer was dropped under pressure), so parked followers
+	// should recompute now instead of waiting out LeaseTTL.
+	Abandon bool `json:"abandon,omitempty"`
 }
 
 type putResponse struct {
@@ -259,6 +278,7 @@ type nodeMetrics struct {
 	getSeconds    *obs.Histogram
 	offers        *obs.Counter
 	offersDropped *obs.Counter
+	abandons      *obs.Counter
 	servedGets    *obs.Counter
 	servedHits    *obs.Counter
 	servedWaits   *obs.Counter
@@ -310,6 +330,9 @@ func New(cfg Config, backend Backend, reg *obs.Registry) (*Node, error) {
 	if !selfListed {
 		return nil, fmt.Errorf("cluster: Self %q is not in Peers", cfg.Self)
 	}
+	if len(peers) > 0 && cfg.Secret == "" {
+		return nil, fmt.Errorf("cluster: Config.Secret is required for a multi-node cluster (the peer endpoints are mounted on the public API mux)")
+	}
 	ring, err := NewRing(ids, cfg.VNodes)
 	if err != nil {
 		return nil, err
@@ -339,6 +362,7 @@ func New(cfg Config, backend Backend, reg *obs.Registry) (*Node, error) {
 			getSeconds:    reg.Histogram("prairie_cluster_peer_get_seconds", nil),
 			offers:        reg.Counter("prairie_cluster_offers_total"),
 			offersDropped: reg.Counter("prairie_cluster_offers_dropped_total"),
+			abandons:      reg.Counter("prairie_cluster_abandons_total"),
 			servedGets:    reg.Counter("prairie_cluster_served_gets_total"),
 			servedHits:    reg.Counter("prairie_cluster_served_hits_total"),
 			servedWaits:   reg.Counter("prairie_cluster_served_collapsed_total"),
@@ -457,6 +481,10 @@ func (n *Node) Offer(world string, fp uint64, canon string, epoch uint64, payloa
 	case n.offerSem <- struct{}{}:
 	default:
 		n.m.offersDropped.Inc()
+		// The payload is dropped, but the owner may hold a lease for
+		// this key with followers parked behind it — release them now
+		// rather than letting the lease sit out its TTL.
+		n.abandonAsync(p, world, fp, canon, epoch)
 		return
 	}
 	n.m.offers.Inc()
@@ -470,6 +498,44 @@ func (n *Node) Offer(world string, fp uint64, canon string, epoch uint64, payloa
 		if err != nil {
 			n.fail(p)
 			n.m.peerErrors.Inc()
+			return
+		}
+		n.recover(p)
+		if resp.Epoch > epoch {
+			n.backend.AdvanceTo(resp.Epoch)
+		}
+	}()
+}
+
+// Abandon notifies the key's owning peer that a lease granted to this
+// node will not be fulfilled — the local optimization errored or
+// degraded — so the owner releases its parked followers (local and
+// remote) immediately instead of letting the lease sit out LeaseTTL.
+// Best-effort and asynchronous; on failure the TTL stays the backstop.
+func (n *Node) Abandon(world string, fp uint64, canon string, epoch uint64) {
+	owner := n.ring.Owner(KeyHash(world, fp))
+	if owner == n.cfg.Self {
+		return
+	}
+	n.abandonAsync(n.peers[owner], world, fp, canon, epoch)
+}
+
+// abandonAsync fires an abandon put at p without blocking the caller.
+// Unlike payload offers it bypasses offerSem: an abandon is a tiny
+// fixed-size request, at most one per failed optimization, and exists
+// precisely to release followers when the offer path is saturated.
+func (n *Node) abandonAsync(p *peerState, world string, fp uint64, canon string, epoch uint64) {
+	if p.isDown(time.Now()) {
+		return // unreachable; the owner's lease TTL is the backstop
+	}
+	n.m.abandons.Inc()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		req := putRequest{World: world, FP: fp, Canon: canon, Epoch: epoch, Abandon: true}
+		var resp putResponse
+		if err := n.post(context.Background(), p, PeerPutPath, req, &resp, n.cfg.PeerTimeout); err != nil {
+			n.fail(p)
 			return
 		}
 		n.recover(p)
@@ -605,6 +671,7 @@ func (n *Node) post(ctx context.Context, p *peerState, path string, in, out any,
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(AuthHeader, n.cfg.Secret)
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return err

@@ -3,8 +3,10 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -105,7 +107,7 @@ func twoNodes(t *testing.T, tune func(*Config)) (na, nb *Node, ba, bb *memBacken
 	peers := []Peer{{ID: "a", URL: sa.URL}, {ID: "b", URL: sb.URL}}
 	ba, bb = newMemBackend(64), newMemBackend(64)
 	mk := func(self string, b *memBackend) *Node {
-		cfg := Config{Self: self, Peers: peers}
+		cfg := Config{Self: self, Peers: peers, Secret: "test-secret"}
 		if tune != nil {
 			tune(&cfg)
 		}
@@ -322,6 +324,7 @@ func TestPeerDownMarking(t *testing.T) {
 	cfg := Config{
 		Self:        "b",
 		Peers:       []Peer{{ID: "a", URL: deadURL}, {ID: "b", URL: "http://unused"}},
+		Secret:      "test-secret",
 		DownAfter:   2,
 		DownFor:     150 * time.Millisecond,
 		PeerTimeout: 100 * time.Millisecond,
@@ -427,6 +430,9 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "b"}}}, b, nil); err == nil {
 		t.Error("remote peer without URL accepted")
 	}
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "b", URL: "http://x"}}}, b, nil); err == nil {
+		t.Error("multi-node cluster without a secret accepted")
+	}
 	// Single-node cluster: every key is self-owned, no RPC ever.
 	n, err := New(Config{Self: "solo"}, b, nil)
 	if err != nil {
@@ -440,5 +446,225 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, _, out := n.Fetch(context.Background(), "w", 1, "q", 0); out != OutcomeSelf {
 		t.Fatal("single-node fetch should be OutcomeSelf")
+	}
+}
+
+// soloHTTPNode stands up one node behind a real HTTP listener (its
+// remote peer is never dialed) for tests that speak the peer protocol
+// directly over the wire.
+func soloHTTPNode(t *testing.T, tune func(*Config)) (*Node, *memBackend, string) {
+	t.Helper()
+	da := &delegator{}
+	sa := httptest.NewServer(da)
+	t.Cleanup(sa.Close)
+	ba := newMemBackend(16)
+	cfg := Config{
+		Self:   "a",
+		Peers:  []Peer{{ID: "a", URL: sa.URL}, {ID: "b", URL: "http://127.0.0.1:1"}},
+		Secret: "s3cret",
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	na, err := New(cfg, ba, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(na.Close)
+	da.set(na.Handler())
+	return na, ba, sa.URL
+}
+
+// TestPeerEndpointAuth: the peer endpoints are mounted on the public
+// mux, so they must reject requests without the shared secret — an
+// unauthenticated put could poison a deterministic cache slot, and an
+// unauthenticated epoch could wind the cluster epoch to MaxUint64
+// (wedging Invalidate's wrap-around) on every member.
+func TestPeerEndpointAuth(t *testing.T) {
+	_, ba, base := soloHTTPNode(t, nil)
+	post := func(path, body, secret string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if secret != "" {
+			req.Header.Set(AuthHeader, secret)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	bomb := `{"epoch": 18446744073709551615}`
+	for _, secret := range []string{"", "wrong"} {
+		for _, path := range []string{PeerEpochPath, PeerPutPath, PeerGetPath} {
+			if code := post(path, bomb, secret); code != http.StatusUnauthorized {
+				t.Fatalf("%s with secret %q: status %d, want 401", path, secret, code)
+			}
+		}
+	}
+	if e := ba.Epoch(); e != 0 {
+		t.Fatalf("epoch moved to %d by unauthenticated requests", e)
+	}
+	if code := post(PeerEpochPath, `{"epoch": 7}`, "s3cret"); code != http.StatusOK {
+		t.Fatalf("authenticated epoch: status %d", code)
+	}
+	if e := ba.Epoch(); e != 7 {
+		t.Fatalf("epoch = %d after authenticated advance, want 7", e)
+	}
+}
+
+// TestZeroWaitGetDoesNotPark: a requester whose deadline is exhausted
+// sends wait_ms=0 — the owner must answer a follower position as an
+// immediate miss instead of parking the handler goroutine for the
+// WaitForLeader default long after the requester disconnected.
+func TestZeroWaitGetDoesNotPark(t *testing.T) {
+	_, ba, base := soloHTTPNode(t, func(c *Config) {
+		c.WaitForLeader = 5 * time.Second
+	})
+	// Open an in-flight search for the key, as a concurrent local
+	// optimization would; the wire request below is then a follower.
+	acq, ok := ba.Acquire("w", 1, "q", 0)
+	if !ok || !acq.Leader() {
+		t.Fatal("local acquire did not lead")
+	}
+	defer acq.Abandon()
+
+	req, err := http.NewRequest(http.MethodPost, base+PeerGetPath,
+		strings.NewReader(`{"world":"w","fp":1,"canon":"q","epoch":0,"wait_ms":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(AuthHeader, "s3cret")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var gr getResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		t.Fatal(err)
+	}
+	if gr.Outcome != "miss" {
+		t.Fatalf("zero-wait follower get = %q, want miss", gr.Outcome)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("zero-wait get took %v; the handler parked", d)
+	}
+}
+
+// TestAbandonReleasesFollowers: when the granted leader's optimization
+// errs or degrades, its abandon put must release the owner's parked
+// followers immediately — not after LeaseTTL.
+func TestAbandonReleasesFollowers(t *testing.T) {
+	na, nb, _, _ := twoNodes(t, func(c *Config) {
+		c.LeaseTTL = 30 * time.Second
+		c.WaitForLeader = 10 * time.Second
+	})
+	fp := fpOwnedBy(t, na.ring, "w", "a")
+	ctx := context.Background()
+	if _, _, out := nb.Fetch(ctx, "w", fp, "q", 0); out != OutcomeLead {
+		t.Fatal("want lead")
+	}
+	done := make(chan Outcome, 1)
+	go func() {
+		_, _, out := nb.Fetch(ctx, "w", fp, "q", 0)
+		done <- out
+	}()
+	time.Sleep(50 * time.Millisecond) // let the follower reach the owner and park
+	start := time.Now()
+	nb.Abandon("w", fp, "q", 0)
+	select {
+	case out := <-done:
+		if out != OutcomeMiss {
+			t.Fatalf("follower released with %v, want miss", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower still parked 5s after abandon (lease TTL is 30s)")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("follower released %v after abandon; should be immediate", d)
+	}
+	// The flight is gone: the next fetch leads again.
+	if _, _, out := nb.Fetch(ctx, "w", fp, "q", 0); out != OutcomeLead {
+		t.Fatalf("post-abandon fetch = %v, want lead", out)
+	}
+}
+
+// TestOfferDropAbandons: when the bounded offer pool is saturated the
+// payload is dropped, but the owner's lease must still be released so
+// followers recompute instead of waiting out the TTL.
+func TestOfferDropAbandons(t *testing.T) {
+	na, nb, _, _ := twoNodes(t, func(c *Config) {
+		c.LeaseTTL = 30 * time.Second
+	})
+	fp := fpOwnedBy(t, na.ring, "w", "a")
+	ctx := context.Background()
+	if _, _, out := nb.Fetch(ctx, "w", fp, "q", 0); out != OutcomeLead {
+		t.Fatal("want lead")
+	}
+	// Saturate the offer pool so the payload put is dropped on the floor.
+	for i := 0; i < cap(nb.offerSem); i++ {
+		nb.offerSem <- struct{}{}
+	}
+	nb.Offer("w", fp, "q", 0, []byte(`"plan-bytes"`))
+	for i := 0; i < cap(nb.offerSem); i++ {
+		<-nb.offerSem
+	}
+	// The drop-path abandon released the lease: a fetch leads again well
+	// before the 30s TTL (poll — the abandon is asynchronous, and a
+	// fetch racing ahead of it parks briefly and is released as a miss).
+	deadline := time.Now().Add(5 * time.Second)
+	var out Outcome
+	for time.Now().Before(deadline) {
+		_, _, out = nb.Fetch(ctx, "w", fp, "q", 0)
+		if out == OutcomeLead {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if out != OutcomeLead {
+		t.Fatalf("fetch after dropped offer = %v, want lead (lease released)", out)
+	}
+}
+
+// TestHotTrackerSweep: a full promoted set whose keys went cold must
+// not block new promotions forever. Promoted keys are served from the
+// local replica, so their traffic never reaches the tracker again —
+// demotion has to come from the sweep on blocked promotion attempts
+// and on the metrics path (counts).
+func TestHotTrackerSweep(t *testing.T) {
+	tr := newHotTracker(1, 10*time.Second, 2)
+	now := time.Unix(1000, 0)
+	tr.now = func() time.Time { return now }
+	if !tr.observeFill(hotKey{world: "w", fp: 1}) || !tr.observeFill(hotKey{world: "w", fp: 2}) {
+		t.Fatal("keys not promoted at threshold 1")
+	}
+	if _, hot := tr.counts(); hot != 2 {
+		t.Fatalf("promoted = %d, want 2", hot)
+	}
+	// Both go fully cold. A new key crossing the threshold must still
+	// promote: the blocked attempt sweeps the decayed set first.
+	now = now.Add(5 * time.Minute)
+	if !tr.observeFill(hotKey{world: "w", fp: 3}) {
+		t.Fatal("promotion blocked by decayed hot keys")
+	}
+	if tr.isHot(hotKey{world: "w", fp: 1}) || tr.isHot(hotKey{world: "w", fp: 2}) {
+		t.Fatal("cold keys still promoted after sweep")
+	}
+	// The metrics path alone also demotes: promote, go cold, scrape.
+	now = now.Add(5 * time.Minute)
+	if !tr.observeFill(hotKey{world: "w", fp: 4}) {
+		t.Fatal("fp 4 not promoted")
+	}
+	now = now.Add(5 * time.Minute)
+	if _, hot := tr.counts(); hot != 0 {
+		t.Fatalf("counts kept %d cold keys promoted", hot)
 	}
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"net/http"
 	"time"
@@ -28,13 +29,31 @@ import (
 //	epoch→ monotonic reconciliation; the invalidate fan-out target.
 
 // Handler returns the peer-protocol endpoints; the server mounts it
-// under PathPrefix.
+// under PathPrefix. Every endpoint is guarded by the shared cluster
+// secret (AuthHeader): the mux is public, and an unauthenticated put
+// or epoch would let any API client poison deterministic cache slots
+// or wind the cluster epoch forward.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PeerGetPath, n.handleGet)
 	mux.HandleFunc(PeerPutPath, n.handlePut)
 	mux.HandleFunc(PeerEpochPath, n.handleEpoch)
-	return mux
+	return n.authenticate(mux)
+}
+
+// authenticate rejects requests that do not carry Config.Secret in
+// AuthHeader (constant-time compare). A node with no secret — a
+// single-node cluster, which New only allows when there are no remote
+// peers — serves no peers and rejects everything.
+func (n *Node) authenticate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.cfg.Secret == "" ||
+			subtle.ConstantTimeCompare([]byte(r.Header.Get(AuthHeader)), []byte(n.cfg.Secret)) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -86,9 +105,18 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Follower: an optimization is in flight somewhere in the cluster.
+	// wait_ms is the requester's parking budget; only the upper bound
+	// is clamped. Zero (or absent) means the requester's own deadline
+	// is nearly exhausted — parking the handler for the default would
+	// strand a goroutine long after the requester disconnected, so the
+	// answer is an immediate miss.
 	wait := time.Duration(req.WaitMS) * time.Millisecond
-	if wait <= 0 || wait > n.cfg.WaitForLeader {
+	if wait > n.cfg.WaitForLeader {
 		wait = n.cfg.WaitForLeader
+	}
+	if wait <= 0 {
+		writeJSON(w, getResponse{Outcome: "miss", Epoch: local})
+		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
@@ -106,18 +134,20 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	local := n.backend.AdvanceTo(req.Epoch)
-	if req.Epoch < local {
-		// A put computed under an invalidated epoch: storing it would be
-		// harmless (the key embeds the epoch, so nothing can hit it) but
-		// pointless; resolving a matching lease empty releases followers
-		// to recompute under the new epoch.
-		if l, ok := n.takeLease(leaseKey{world: req.World, fp: req.FP, canon: req.Canon, epoch: req.Epoch}); ok {
+	k := leaseKey{world: req.World, fp: req.FP, canon: req.Canon, epoch: req.Epoch}
+	if req.Abandon || req.Epoch < local {
+		// An explicit abandon (the lessee's optimization errored or
+		// degraded), or a put computed under an invalidated epoch:
+		// storing the latter would be harmless (the key embeds the
+		// epoch, so nothing can hit it) but pointless. Either way,
+		// resolving a matching lease empty releases followers to
+		// recompute now instead of waiting out LeaseTTL.
+		if l, ok := n.takeLease(k); ok {
 			l.acq.Abandon()
 		}
 		writeJSON(w, putResponse{Stored: false, Epoch: local})
 		return
 	}
-	k := leaseKey{world: req.World, fp: req.FP, canon: req.Canon, epoch: req.Epoch}
 	stored := false
 	if l, ok := n.takeLease(k); ok {
 		stored = l.acq.Complete(req.Payload)

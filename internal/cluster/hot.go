@@ -77,10 +77,18 @@ func (t *hotTracker) observeFill(k hotKey) bool {
 	if e.hot {
 		return true
 	}
-	if e.score >= t.threshold && t.hotCount < t.maxHot {
-		e.hot = true
-		t.hotCount++
-		return true
+	if e.score >= t.threshold {
+		if t.hotCount >= t.maxHot {
+			// The promoted set is full — demote decayed entries before
+			// giving up, or a once-hot set that went cold would block
+			// every future promotion forever.
+			t.sweepLocked(now)
+		}
+		if t.hotCount < t.maxHot {
+			e.hot = true
+			t.hotCount++
+			return true
+		}
 	}
 	return false
 }
@@ -109,14 +117,37 @@ func (t *hotTracker) isHot(k hotKey) bool {
 	return true
 }
 
-// counts returns (tracked, promoted) for the metrics exposition.
+// counts returns (tracked, promoted) for the metrics exposition. It
+// sweeps first: promoted keys are served from the local replica and
+// never reach observeFill/isHot again, so the periodic scrape is where
+// keys that went fully cold get demoted.
 func (t *hotTracker) counts() (int, int) {
 	if t == nil {
 		return 0, 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.sweepLocked(t.now())
 	return len(t.entries), t.hotCount
+}
+
+// sweepLocked decays every promoted entry to now and demotes those
+// below the hysteresis floor. Called under mu. Demotion must not rely
+// on per-key traffic: once a key is promoted its hits are served from
+// the local replica without touching the tracker, so a cold hot key
+// would otherwise keep its slot indefinitely.
+func (t *hotTracker) sweepLocked(now time.Time) {
+	for _, e := range t.entries {
+		if !e.hot {
+			continue
+		}
+		e.score *= decay(now.Sub(e.last), t.halfLife)
+		e.last = now
+		if e.score < t.threshold/2 {
+			e.hot = false
+			t.hotCount--
+		}
+	}
 }
 
 // evictColdest drops the lowest-decayed-score unpromoted entry; called

@@ -69,7 +69,7 @@ func startBenchCluster(reg *server.Registry, n, cacheSize, workers int, hotAfter
 			CacheSize:   cacheSize,
 			MaxInflight: workers,
 			Obs:         &obs.Observer{Metrics: metrics},
-			Cluster:     &cluster.Config{Self: peers[i].ID, Peers: peers, HotAfter: hotAfter},
+			Cluster:     &cluster.Config{Self: peers[i].ID, Peers: peers, Secret: "bench-secret", HotAfter: hotAfter},
 		})
 		if err != nil {
 			cleanup()

@@ -146,10 +146,21 @@ func (r *remoteAdapter) Offer(key plancache.Key, e volcano.RemoteEntry) bool {
 	}
 	if payload, err := wire.EncodeEntry(e); err == nil {
 		r.node.Offer(r.world.Name, key.Fingerprint, key.Canon, key.Epoch, payload)
+	} else {
+		// An unencodable entry can never complete the owner's lease;
+		// release its followers instead of letting the lease time out.
+		r.node.Abandon(r.world.Name, key.Fingerprint, key.Canon, key.Epoch)
 	}
 	// Store locally only when the key is hot: a cold remote-owned
 	// entry's capacity belongs to its shard.
 	return r.node.Hot(r.world.Name, key.Fingerprint)
+}
+
+func (r *remoteAdapter) Abandon(key plancache.Key) {
+	if r.node.Owns(r.world.Name, key.Fingerprint) {
+		return
+	}
+	r.node.Abandon(r.world.Name, key.Fingerprint, key.Canon, key.Epoch)
 }
 
 // shardGauge is one cache shard's exposition pair

@@ -64,7 +64,7 @@ func testClusterN(t *testing.T, n int, mutate func(i int, cfg *Config)) ([]*Serv
 	for i := 0; i < n; i++ {
 		cfg := Config{
 			Registry: reg,
-			Cluster:  &cluster.Config{Self: peers[i].ID, Peers: peers},
+			Cluster:  &cluster.Config{Self: peers[i].ID, Peers: peers, Secret: "test-secret"},
 		}
 		if mutate != nil {
 			mutate(i, &cfg)
@@ -172,6 +172,7 @@ func TestClusterPeerDownFallback(t *testing.T) {
 				{ID: "a"},
 				{ID: "b", URL: deadURL},
 			},
+			Secret:      "test-secret",
 			DownAfter:   1,
 			PeerTimeout: 100 * time.Millisecond,
 		},
@@ -446,6 +447,33 @@ func TestClusterDifferential(t *testing.T) {
 	}
 }
 
+// TestClusterPeerEndpointsRequireAuth: the peer protocol rides the
+// public API mux, so a plain API client — anyone who can reach
+// /v1/optimize — must not be able to poison a cache slot via
+// /v1/peer/put or advance the cluster epoch via /v1/peer/epoch.
+// Fingerprints and canon are deterministic, so without the shared
+// secret these would be open writes to known keys.
+func TestClusterPeerEndpointsRequireAuth(t *testing.T) {
+	srvs, https := testClusterN(t, 2, nil)
+	before := srvs[0].Cache().Epoch()
+	for _, path := range []string{"/v1/peer/put", "/v1/peer/epoch", "/v1/peer/get"} {
+		resp, body := postJSON(t, https[0].URL+path, map[string]any{
+			"world": "oodb/volcano", "fp": 1, "canon": "q",
+			"epoch": uint64(1) << 60, "payload": json.RawMessage(`{}`),
+		})
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s without the cluster secret: status %d (%s), want 401",
+				path, resp.StatusCode, body)
+		}
+	}
+	if after := srvs[0].Cache().Epoch(); after != before {
+		t.Fatalf("epoch moved %d -> %d via unauthenticated peer endpoint", before, after)
+	}
+	if n := srvs[0].Cache().Len(); n != 0 {
+		t.Fatalf("%d entries inserted via unauthenticated peer put", n)
+	}
+}
+
 // TestClusterShardMetrics checks the per-shard and cluster series land
 // in the Prometheus-text exposition.
 func TestClusterShardMetrics(t *testing.T) {
@@ -526,10 +554,10 @@ func BenchmarkClusterGuard(b *testing.B) {
 		self := httptest.NewServer(http.NotFoundHandler())
 		defer self.Close()
 		peers := []cluster.Peer{{ID: "a", URL: self.URL}, {ID: "b", URL: peer.URL}}
-		peerSrv := newSrv(Config{Cluster: &cluster.Config{Self: "b", Peers: peers}})
+		peerSrv := newSrv(Config{Cluster: &cluster.Config{Self: "b", Peers: peers, Secret: "test-secret"}})
 		defer peerSrv.Close()
 		swap.set(peerSrv.Handler())
-		srv := newSrv(Config{Cluster: &cluster.Config{Self: "a", Peers: peers}})
+		srv := newSrv(Config{Cluster: &cluster.Config{Self: "a", Peers: peers, Secret: "test-secret"}})
 		defer srv.Close()
 		bench(b, srv)
 	})

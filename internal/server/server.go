@@ -295,6 +295,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/invalidate", s.guard(s.handleInvalidate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.cluster != nil {
+		// The peer endpoints authenticate themselves with the shared
+		// cluster secret (cluster.AuthHeader); they deliberately bypass
+		// s.guard — a peer get is bounded cache work, not an
+		// optimization, and parking it behind the admission queue would
+		// add local queue wait to every remote fill and let one
+		// saturated node stall its peers' misses.
 		s.mux.Handle(cluster.PathPrefix, s.cluster.Handler())
 	}
 	// Observability exposition: delegate to the obs mux so the service

@@ -259,6 +259,7 @@ func (o *Optimizer) cachedOptimizeOnce(ctx context.Context, tree *core.Expr, req
 	// when it runs first. Registered before the peer fetch so a panic
 	// there cannot wedge them either.
 	defer a.Complete(cachedPlan{}, false)
+	remoteLead := false
 	if rem := o.Opts.Remote; rem != nil {
 		// Local miss, and this request leads the local flight: ask the
 		// key's owning peer before optimizing. The fetch happens inside
@@ -291,6 +292,7 @@ func (o *Optimizer) cachedOptimizeOnce(ctx context.Context, tree *core.Expr, req
 		// RemoteLead / RemoteMiss / RemoteError / RemoteNone: optimize
 		// locally. A lead's result is offered back to the owner below,
 		// completing the cluster-wide flight.
+		remoteLead = res.Outcome == RemoteLead
 	}
 	if ph != nil {
 		ph.Observe(obs.PhaseCache, phStart, time.Since(phStart))
@@ -299,6 +301,12 @@ func (o *Optimizer) cachedOptimizeOnce(ctx context.Context, tree *core.Expr, req
 	plan, err := o.optimizeContext(ctx, tree, req)
 	o.warm = false
 	if err != nil || plan == nil || o.Stats.Degraded {
+		if remoteLead {
+			// The owner granted this node the cluster-wide lease; with
+			// no result coming, release its parked followers now rather
+			// than after the lease TTL.
+			o.Opts.Remote.Abandon(key)
+		}
 		a.Complete(cachedPlan{}, false)
 		return plan, err, false
 	}

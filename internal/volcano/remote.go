@@ -81,6 +81,12 @@ type RemoteCache interface {
 	// replicas, false for entries whose capacity belongs to another
 	// shard.
 	Offer(key plancache.Key, e RemoteEntry) (storeLocal bool)
+	// Abandon tells the key's owner that a lease granted by Fetch
+	// (RemoteLead) will not be fulfilled — the optimization errored or
+	// degraded — so the owner can release parked followers immediately
+	// instead of waiting out its lease TTL. Best-effort, asynchronous,
+	// and a no-op for locally-owned keys.
+	Abandon(key plancache.Key)
 }
 
 // entryOf converts a cache entry to its wire-facing form.

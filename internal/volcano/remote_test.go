@@ -1,0 +1,102 @@
+package volcano
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"prairie/internal/plancache"
+)
+
+// fakeRemote is a scripted RemoteCache: Fetch always returns the
+// configured outcome, and every Offer / Abandon is recorded.
+type fakeRemote struct {
+	outcome RemoteOutcome
+
+	mu       sync.Mutex
+	offers   []plancache.Key
+	abandons []plancache.Key
+}
+
+func (f *fakeRemote) Fetch(ctx context.Context, key plancache.Key) RemoteResult {
+	return RemoteResult{Outcome: f.outcome}
+}
+
+func (f *fakeRemote) Offer(key plancache.Key, e RemoteEntry) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.offers = append(f.offers, key)
+	return true
+}
+
+func (f *fakeRemote) Abandon(key plancache.Key) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.abandons = append(f.abandons, key)
+}
+
+func (f *fakeRemote) counts() (offers, abandons int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.offers), len(f.abandons)
+}
+
+// TestRemoteLeadOfferOnSuccess: a node granted the cluster-wide lead
+// that optimizes cleanly fulfils the lease with an Offer and never
+// abandons it.
+func TestRemoteLeadOfferOnSuccess(t *testing.T) {
+	w := newTestWorld()
+	rem := &fakeRemote{outcome: RemoteLead}
+	o := NewOptimizer(w.rs)
+	o.Opts.Cache = NewPlanCache(8)
+	o.Opts.Remote = rem
+	plan, err := o.Optimize(w.chain(8, 4, 2), nil)
+	if err != nil || plan == nil {
+		t.Fatalf("optimize: plan=%v err=%v", plan, err)
+	}
+	if offers, abandons := rem.counts(); offers != 1 || abandons != 0 {
+		t.Fatalf("successful lead: offers=%d abandons=%d, want 1/0", offers, abandons)
+	}
+}
+
+// TestRemoteLeadAbandonOnDegrade: a lead whose search degrades produces
+// no shareable entry, so the lease must be released via Abandon — not
+// left to expire with followers parked behind it (REVIEW finding 2).
+func TestRemoteLeadAbandonOnDegrade(t *testing.T) {
+	w := newTestWorld()
+	rem := &fakeRemote{outcome: RemoteLead}
+	o := NewOptimizer(w.rs)
+	o.Opts.Cache = NewPlanCache(8)
+	o.Opts.Remote = rem
+	o.Opts.Budget = Budget{MaxRuleFirings: 1}
+	plan, err := o.Optimize(w.chain(8, 4, 2), nil)
+	if err != nil || plan == nil {
+		t.Fatalf("degraded run must still yield a plan: plan=%v err=%v", plan, err)
+	}
+	if !o.Stats.Degraded {
+		t.Fatal("budget did not degrade the run; test premise broken")
+	}
+	if offers, abandons := rem.counts(); offers != 0 || abandons != 1 {
+		t.Fatalf("degraded lead: offers=%d abandons=%d, want 0/1", offers, abandons)
+	}
+}
+
+// TestRemoteMissNoAbandonOnDegrade: without a lease grant (RemoteMiss)
+// a degraded run has nothing to release — Abandon must not fire.
+func TestRemoteMissNoAbandonOnDegrade(t *testing.T) {
+	w := newTestWorld()
+	rem := &fakeRemote{outcome: RemoteMiss}
+	o := NewOptimizer(w.rs)
+	o.Opts.Cache = NewPlanCache(8)
+	o.Opts.Remote = rem
+	o.Opts.Budget = Budget{MaxRuleFirings: 1}
+	if _, err := o.Optimize(w.chain(8, 4, 2), nil); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if !o.Stats.Degraded {
+		t.Fatal("budget did not degrade the run; test premise broken")
+	}
+	if _, abandons := rem.counts(); abandons != 0 {
+		t.Fatalf("miss-path degrade abandoned a lease it never held: abandons=%d", abandons)
+	}
+}
