@@ -52,7 +52,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, exec, cluster, all")
+		"one of: table5, fig10, fig11, fig12, fig13, fig14, rules, relopt, star, repeat, serve, tier, exec, cluster, rulecheck, all")
 	maxClasses := flag.Int("maxclasses", 0, "max classes per family (0 = paper's ranges)")
 	repeats := flag.Int("repeats", 0, "optimizations per timing point (0 = adaptive)")
 	maxExprs := flag.Int("maxexprs", 0, "search-space cap (0 = engine default)")
@@ -68,6 +68,8 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for -cache and -experiment repeat (0 = 512)")
 	draws := flag.Int("draws", 0, "zipfian draws for -experiment repeat (0 = 300)")
 	rows := flag.Int("rows", 0, "per-class row cap for -experiment exec (0 = 4096)")
+	dslPath := flag.String("dsl", "",
+		"Prairie spec for -experiment rulecheck's DSL world (default examples/dslrules/rules.prairie)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables (for BENCH_*.json archives)")
 	observe := flag.Bool("observe", false,
@@ -138,6 +140,7 @@ func main() {
 		CacheSize:  *cacheSize,
 		Draws:      *draws,
 		Rows:       *rows,
+		DSLPath:    *dslPath,
 	}
 	emit := func(t *experiments.Table, err error) {
 		if err != nil {
@@ -173,6 +176,10 @@ func main() {
 		"tier":    func() { emit(experiments.TierBench(opts)) },
 		"exec":    func() { emit(experiments.ExecBench(opts)) },
 		"cluster": func() { emit(experiments.ClusterBench(opts)) },
+		"rulecheck": func() {
+			t, err := experiments.RuleCheck(opts)
+			emit(t, err)
+		},
 	}
 	if *which == "all" {
 		for _, name := range []string{"rules", "table5", "fig10", "fig11", "fig12", "fig13", "fig14", "relopt"} {

@@ -6,18 +6,23 @@
 //
 // Usage:
 //
-//	prairiec [-check] [-fmt] [-dump] [-time] file.prairie
+//	prairiec [-check] [-fmt] [-dump] [-verify] [-time] file.prairie
 //
 //	-check   parse and type-check only
 //	-fmt     print the canonical formatting of the specification
 //	-dump    also list the generated trans_rules/impl_rules/enforcers
+//	-verify  differentially verify every trans_rule (JSON verdict table)
 //	-time    report per-phase wall time (parse, check, compile, translate)
 //
 // Helper functions declared by the specification are bound to stub
 // implementations (returning their result kind's default value): the
 // translation itself never executes rule actions, so stubs suffice for
 // compilation and reporting. Linking real helpers requires the Go API
-// (package prairie).
+// (package prairie). -verify does execute rule actions: it binds the
+// example helpers (nlogn, order_within) where the specification declares
+// them and stubs the rest, then runs internal/rulecheck's per-rule
+// differential verifier over a synthetic catalog, exiting nonzero if any
+// rule comes back with a counterexample or unexercised.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"prairie/internal/core"
 	"prairie/internal/p2v"
 	"prairie/internal/prairielang"
+	"prairie/internal/rulecheck"
 	"prairie/internal/volcano"
 )
 
@@ -36,10 +42,11 @@ func main() {
 	checkOnly := flag.Bool("check", false, "parse and type-check only")
 	format := flag.Bool("fmt", false, "print canonical formatting")
 	dump := flag.Bool("dump", false, "list generated Volcano rules")
+	verify := flag.Bool("verify", false, "differentially verify every trans_rule; emit a JSON verdict table")
 	timed := flag.Bool("time", false, "report per-phase wall time on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prairiec [-check] [-fmt] [-dump] file.prairie")
+		fmt.Fprintln(os.Stderr, "usage: prairiec [-check] [-fmt] [-dump] [-verify] file.prairie")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -84,6 +91,31 @@ func main() {
 		fatal(err)
 	}
 	impls := stubHelpers(spec)
+	if *verify {
+		// Real implementations where the spec declares the example
+		// helpers; the stubs stay for anything else.
+		for name, fn := range rulecheck.DSLHelpers() {
+			if _, ok := impls[name]; ok {
+				impls[name] = fn
+			}
+		}
+		var w *rulecheck.World
+		phase("world", func() { w, err = rulecheck.DSLWorld(string(src), impls) })
+		if err != nil {
+			fatal(err)
+		}
+		var rep *rulecheck.Report
+		phase("verify", func() { rep = rulecheck.Verify(w, rulecheck.Options{}) })
+		js, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(js)
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+		return
+	}
 	var rs *core.RuleSet
 	phase("compile", func() { rs, err = prairielang.Compile(spec, impls) })
 	if err != nil {

@@ -116,7 +116,12 @@ type ActionHints struct {
 //	E(x1..xn):D1  ==>  E'(x1..xn):D2
 //	{{ pre-test }}  test  {{ post-test }}
 type TRule struct {
-	Name     string
+	Name string
+	// Origin records where the rule was declared (a "file:line" source
+	// position for rules compiled from Prairie-language text, empty for
+	// rules built in Go). Back ends carry it through to per-rule
+	// diagnostics and verification verdicts.
+	Origin   string
 	LHS, RHS *PatNode
 	PreTest  Action // may be nil
 	Test     Test   // nil means TRUE

@@ -75,6 +75,91 @@ func TestDatumCompareToValue(t *testing.T) {
 	}
 }
 
+// TestDatumSetOrdering pins the deterministic-but-partial order on
+// set-valued data: sets compare by first element, and an empty set ties
+// with everything (Less is false both ways), which sorting treats as
+// equal — never as a panic or an unstable order.
+func TestDatumSetOrdering(t *testing.T) {
+	if !SetD(1, 9).Less(SetD(2, 0)) || SetD(2, 0).Less(SetD(1, 9)) {
+		t.Error("sets must order by first element")
+	}
+	if SetD(1, 5).Less(SetD(1, 2)) || SetD(1, 2).Less(SetD(1, 5)) {
+		t.Error("sets sharing a first element tie")
+	}
+	if SetD().Less(SetD()) || SetD().Less(SetD(1)) || SetD(1).Less(SetD()) {
+		t.Error("empty sets tie with every set")
+	}
+	if !SetD().Equal(SetD()) {
+		t.Error("empty sets are equal")
+	}
+	if SetD().Equal(SetD(1)) || SetD(1).Equal(SetD()) {
+		t.Error("empty set equals only the empty set")
+	}
+	// Cross-kind: a set never equals a scalar, and kind decides Less.
+	if SetD(3).Equal(IntD(3)) || IntD(3).Equal(SetD(3)) {
+		t.Error("set vs int cross-kind equality")
+	}
+	if !IntD(9).Less(SetD(1)) || SetD(1).Less(IntD(9)) {
+		t.Error("cross-kind order is by kind, ints before sets")
+	}
+}
+
+// TestDatumHashEdgeCases: Hash must stay consistent with Equal on the
+// corners — int/ref cross-kind equality, positional set equality, and
+// empty values hashing without panicking.
+func TestDatumHashEdgeCases(t *testing.T) {
+	if IntD(7).Hash() != RefD(7).Hash() {
+		t.Error("equal int and ref must hash alike")
+	}
+	if SetD(1, 2).Hash() != SetD(1, 2).Hash() {
+		t.Error("set hash not deterministic")
+	}
+	if SetD(1, 2).Hash() == SetD(2, 1).Hash() {
+		t.Error("positionally-different sets should hash apart")
+	}
+	// Empty set, empty string, and the zero int are pairwise unequal;
+	// their hashes need not differ, but must be stable and safe.
+	for _, d := range []Datum{SetD(), StrD(""), IntD(0)} {
+		if d.Hash() != d.Hash() {
+			t.Errorf("%v: unstable hash", d)
+		}
+	}
+	if SetD().Equal(StrD("")) || StrD("").Equal(IntD(0)) {
+		t.Error("empty values of different kinds are not equal")
+	}
+}
+
+// TestDatumCompareToValueRefAndEdges: refs compare against numeric
+// constants exactly like ints (a pointer is its target ordinal), and
+// unsupported constant kinds report incomparable instead of guessing.
+func TestDatumCompareToValueRefAndEdges(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		v    core.Value
+		want int
+		ok   bool
+	}{
+		{RefD(3), core.Int(3), 0, true},
+		{RefD(2), core.Int(3), -1, true},
+		{RefD(4), core.Int(3), 1, true},
+		{RefD(2), core.Float(2.5), -1, true},
+		{RefD(3), core.Float(2.5), 1, true},
+		{RefD(3), core.Str("3"), 0, false},
+		{SetD(1, 2), core.Float(1), 0, false},
+		{SetD(), core.Int(0), 0, false},
+		{StrD(""), core.Str(""), 0, true},
+		{IntD(0), core.Bool(true), 0, false},
+		{IntD(0), core.Cost(1), 0, false},
+		{RefD(0), core.DontCareOrder, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.d.CompareToValue(c.v)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("CompareToValue(%v, %v) = %d, %v; want %d, %v", c.d, c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
 func TestSchemaOps(t *testing.T) {
 	s := Schema{core.A("C1", "a"), core.A("C1", "b")}
 	if c, ok := s.Col(core.A("C1", "b")); !ok || c != 1 {

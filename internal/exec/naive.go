@@ -228,6 +228,31 @@ func Canonical(r *Result) []string {
 	return out
 }
 
+// DiffBags returns the canonical rows in a but not b and in b but not a,
+// with bag multiplicity respected (a row appearing twice in a and once
+// in b contributes one onlyA entry). Counterexample reports use it to
+// show exactly which tuples a bad rewrite lost or invented.
+func DiffBags(a, b *Result) (onlyA, onlyB []string) {
+	ca, cb := Canonical(a), Canonical(b)
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i] == cb[j]:
+			i++
+			j++
+		case ca[i] < cb[j]:
+			onlyA = append(onlyA, ca[i])
+			i++
+		default:
+			onlyB = append(onlyB, cb[j])
+			j++
+		}
+	}
+	onlyA = append(onlyA, ca[i:]...)
+	onlyB = append(onlyB, cb[j:]...)
+	return onlyA, onlyB
+}
+
 // SameBag reports whether two results hold the same bag of tuples,
 // ignoring column and row order.
 func SameBag(a, b *Result) bool {

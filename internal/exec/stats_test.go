@@ -105,6 +105,97 @@ func TestExecStatsParallel(t *testing.T) {
 	_ = batches // background handovers are timing-dependent; counted, not asserted
 }
 
+// TestStatsIterParallelMarks: the pool-slot outcome stamp is
+// deterministic at the iterator level — a free slot marks the wrapped
+// subtree "background" and counts its channel handovers; a saturated
+// pool marks it "pass-through" with none.
+func TestStatsIterParallelMarks(t *testing.T) {
+	vals := make([]int64, 2*parBatchRows+5)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+
+	m := leftMock(vals...)
+	si := &statsIter{in: m, op: "mock"}
+	p := &parallelIter{in: si, sem: make(chan struct{}, 1), st: si}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(vals) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(vals))
+	}
+	if si.parallel != "background" {
+		t.Fatalf("free slot marked %q, want background", si.parallel)
+	}
+	// 2*parBatchRows+5 rows cross the channel in at least three sends.
+	if si.batches < 3 {
+		t.Fatalf("batches = %d, want >= 3", si.batches)
+	}
+	if si.rows != int64(len(vals)) {
+		t.Fatalf("counted rows = %d, want %d", si.rows, len(vals))
+	}
+	checkPaired(t, m)
+
+	m2 := leftMock(vals...)
+	si2 := &statsIter{in: m2, op: "mock"}
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{} // every slot busy
+	p2 := &parallelIter{in: si2, sem: sem, st: si2}
+	res2, err := Run(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(vals) {
+		t.Fatalf("pass-through rows = %d, want %d", len(res2.Rows), len(vals))
+	}
+	if si2.parallel != "pass-through" {
+		t.Fatalf("saturated pool marked %q, want pass-through", si2.parallel)
+	}
+	if si2.batches != 0 {
+		t.Fatalf("pass-through counted %d batches, want 0", si2.batches)
+	}
+	checkPaired(t, m2)
+}
+
+// TestExecStatsParallelRowsConsistency: across repeated Workers>1 runs,
+// every operator's RowsIn must equal the sum of its children's RowsOut
+// and the root count must match the result — whichever goroutines ran
+// the subtrees. Under -race this also exercises the handover ordering
+// the collector relies on.
+func TestExecStatsParallelRowsConsistency(t *testing.T) {
+	db, _ := testDB()
+	tp := newTinyProps()
+	plan := threeWayJoinPlan(tp)
+	ref := runPlan(t, NewCompiler(db, tp.p), plan)
+
+	for i := 0; i < 6; i++ {
+		c := NewCompiler(db, tp.p)
+		st := &ExecStats{}
+		c.Opts = ExecOptions{Workers: 2 + i%3, Stats: st}
+		got := runPlan(t, c, plan)
+		if !SameBag(got, ref) {
+			t.Fatal("parallel stats-wrapped execution changed the result")
+		}
+		ops := st.Report()
+		kidsOut := make(map[int]int64)
+		for _, op := range ops {
+			if op.Parent >= 0 {
+				kidsOut[op.Parent] += op.RowsOut
+			}
+		}
+		for _, op := range ops {
+			if op.RowsIn != kidsOut[op.ID] {
+				t.Fatalf("run %d: %s RowsIn %d != children's RowsOut %d",
+					i, op.Op, op.RowsIn, kidsOut[op.ID])
+			}
+		}
+		if st.RootRows() != int64(len(ref.Rows)) {
+			t.Fatalf("run %d: root rows %d, result %d", i, st.RootRows(), len(ref.Rows))
+		}
+	}
+}
+
 // TestExecStatsDisabled: a nil collector compiles the plan without any
 // wrapping (the disabled path must stay shim-free).
 func TestExecStatsDisabled(t *testing.T) {

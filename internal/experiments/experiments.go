@@ -217,6 +217,11 @@ type Options struct {
 	// engine; the naive oracle is quadratic per join, so the deepest
 	// workloads skip it regardless.
 	Rows int
+	// DSLPath locates the Prairie specification the rulecheck
+	// experiment compiles for its DSL world (empty = the repo's
+	// examples/dslrules/rules.prairie, relative to the working
+	// directory).
+	DSLPath string
 
 	// agg accumulates the sweep's merged statistics; table functions
 	// initialize it and fold every run in (see observe/attach).

@@ -123,11 +123,12 @@ func Translate(rs *core.RuleSet) (*volcano.RuleSet, *Report, error) {
 		}
 		rule := t.rule
 		out.AddTrans(&volcano.TransRule{
-			Name: rule.Name,
-			LHS:  lhs,
-			RHS:  rhs,
-			Cond: func(b *volcano.TBinding) bool { return rule.RunCond(b.Binding) },
-			Appl: func(b *volcano.TBinding) { rule.RunPost(b.Binding) },
+			Name:   rule.Name,
+			Origin: rule.Origin,
+			LHS:    lhs,
+			RHS:    rhs,
+			Cond:   func(b *volcano.TBinding) bool { return rule.RunCond(b.Binding) },
+			Appl:   func(b *volcano.TBinding) { rule.RunPost(b.Binding) },
 		})
 	}
 

@@ -111,10 +111,11 @@ func (c *checker) checkIRule(d *IRuleDecl) (lhs, rhs *core.PatNode, sc ruleScope
 func (c *checker) compileTRule(d *TRuleDecl, helpers *core.Helpers) *core.TRule {
 	lhs, rhs, _, preW, postW := c.checkTRule(d)
 	r := &core.TRule{
-		Name:  d.Name,
-		LHS:   lhs,
-		RHS:   rhs,
-		Hints: &core.ActionHints{PreWrites: preW, PostWrites: postW},
+		Name:   d.Name,
+		Origin: "spec:" + d.Pos.String(),
+		LHS:    lhs,
+		RHS:    rhs,
+		Hints:  &core.ActionHints{PreWrites: preW, PostWrites: postW},
 	}
 	if len(d.PreTest) > 0 {
 		stmts := d.PreTest

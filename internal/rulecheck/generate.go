@@ -1,0 +1,82 @@
+package rulecheck
+
+import (
+	"sort"
+
+	"prairie/internal/core"
+)
+
+// Pattern-directed generation, second stage: the seed shapes cover every
+// rule whose LHS an initialized query can contain, but several rules
+// only match forms other rules produce (MAT(SELECT(x)) exists only after
+// select_push_mat fires; MAT(MAT(x)) only after two mat_pull_join
+// firings). The pool closes the seeds under rule application to a
+// bounded depth, so each rule is verified against everything the search
+// engine could actually feed it.
+
+// poolLimits bounds derivation: levels beyond the seeds, new trees kept
+// per level, and total pool size. The defaults close the shipped rule
+// sets (every rule exercised) while keeping oracle runs cheap.
+type poolLimits struct {
+	Depth    int
+	PerLevel int
+	Total    int
+}
+
+func (l poolLimits) withDefaults() poolLimits {
+	if l.Depth == 0 {
+		l.Depth = 2
+	}
+	if l.PerLevel == 0 {
+		l.PerLevel = 200
+	}
+	if l.Total == 0 {
+		l.Total = 500
+	}
+	return l
+}
+
+// derivePool returns the seeds closed under trans-rule application up to
+// the limits, deduplicated structurally (operators, files, and
+// descriptor contents — String() alone would merge trees that differ
+// only in predicates) and sorted smallest-first, so verification finds
+// minimal counterexamples before larger ones.
+func derivePool(w *World, limits poolLimits) []*core.Expr {
+	limits = limits.withDefaults()
+	seen := map[string]bool{}
+	var pool []*core.Expr
+	add := func(t *core.Expr) bool {
+		if len(pool) >= limits.Total {
+			return false
+		}
+		key := t.Format()
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		pool = append(pool, t)
+		return true
+	}
+	for _, s := range w.Seeds {
+		add(s)
+	}
+	level := append([]*core.Expr{}, pool...)
+	for d := 0; d < limits.Depth && len(level) > 0; d++ {
+		var next []*core.Expr
+		for _, t := range level {
+			for _, r := range w.RS.Trans {
+				for _, rw := range w.RS.ApplyRule(r, t) {
+					if len(next) >= limits.PerLevel {
+						break
+					}
+					if add(rw) {
+						next = append(next, rw)
+					}
+				}
+			}
+		}
+		level = next
+	}
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].Size() < pool[j].Size() })
+	return pool
+}

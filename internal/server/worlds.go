@@ -15,6 +15,7 @@ import (
 	"prairie/internal/prairielang"
 	"prairie/internal/qgen"
 	"prairie/internal/relopt"
+	"prairie/internal/rulecheck"
 	"prairie/internal/volcano"
 )
 
@@ -211,18 +212,10 @@ func RelationalWorld(cat *catalog.Catalog, maxN int) (*World, error) {
 
 // DSLHelpers are the helper implementations the examples/dslrules
 // specification imports; servers loading other specifications provide
-// their own map.
+// their own map. The canonical copy lives in internal/rulecheck so the
+// per-rule verifier and the server compile the example identically.
 func DSLHelpers() map[string]prairielang.HelperImpl {
-	return map[string]prairielang.HelperImpl{
-		"nlogn": func(args []core.Value) (core.Value, error) {
-			n := math.Max(float64(args[0].(core.Float)), 1)
-			return core.Float(n * math.Log2(n+1)), nil
-		},
-		"order_within": func(args []core.Value) (core.Value, error) {
-			ord := args[0].(core.Order)
-			return core.Bool(ord.Within(args[1].(core.Attrs))), nil
-		},
-	}
+	return rulecheck.DSLHelpers()
 }
 
 // DSLWorld compiles a textual Prairie specification (the dslrules

@@ -1,0 +1,104 @@
+package volcano
+
+import (
+	"testing"
+
+	"prairie/internal/core"
+)
+
+// findTrans returns the named trans_rule of the test world.
+func findTrans(t *testing.T, rs *RuleSet, name string) *TransRule {
+	t.Helper()
+	for _, r := range rs.Trans {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no trans_rule %q", name)
+	return nil
+}
+
+func TestTreeMatchesEnumeratesSites(t *testing.T) {
+	w := newTestWorld()
+	tree := w.chain(8, 4, 2) // JOIN(JOIN(RET(R1), RET(R2)), RET(R3))
+	commute := findTrans(t, w.rs, "join_commute")
+	ms := w.rs.TreeMatches(commute, tree)
+	if len(ms) != 2 {
+		t.Fatalf("join_commute should match both JOINs, got %d sites", len(ms))
+	}
+	// The deep pattern matches only at the root.
+	assoc := findTrans(t, w.rs, "join_assoc")
+	if ms := w.rs.TreeMatches(assoc, tree); len(ms) != 1 {
+		t.Fatalf("join_assoc should match once, got %d sites", len(ms))
+	}
+	// Bound subtrees are the real nodes of the original tree.
+	m := w.rs.TreeMatches(assoc, tree)[0]
+	if m.VarSubtree(3) != tree.Kids[1] {
+		t.Errorf("?3 should bind the root's right input")
+	}
+}
+
+func TestApplyRuleCommute(t *testing.T) {
+	w := newTestWorld()
+	tree := w.chain(8, 4)
+	commute := findTrans(t, w.rs, "join_commute")
+	before := tree.String()
+	out := w.rs.ApplyRule(commute, tree)
+	if len(out) != 1 {
+		t.Fatalf("expected 1 rewrite, got %d", len(out))
+	}
+	if got, want := out[0].String(), "JOIN(RET(R2), RET(R1))"; got != want {
+		t.Errorf("rewritten tree = %s, want %s", got, want)
+	}
+	if tree.String() != before {
+		t.Errorf("original tree mutated: %s", tree.String())
+	}
+	// The applied descriptor is the rule's output, not a shared pointer
+	// into the original tree.
+	if out[0].D == tree.D {
+		t.Errorf("rewrite shares root descriptor with original")
+	}
+	if got, want := out[0].D.Pred(w.jp).String(), tree.D.Pred(w.jp).String(); got != want {
+		t.Errorf("commuted join predicate = %s, want %s", got, want)
+	}
+}
+
+func TestApplyRuleCondGates(t *testing.T) {
+	w := newTestWorld()
+	assoc := findTrans(t, w.rs, "join_assoc")
+	// A linear 3-chain associates: (R1⋈R2)⋈R3 -> R1⋈(R2⋈R3).
+	tree := w.chain(8, 4, 2)
+	out := w.rs.ApplyRule(assoc, tree)
+	if len(out) != 1 {
+		t.Fatalf("expected 1 assoc rewrite, got %d", len(out))
+	}
+	if got, want := out[0].String(), "JOIN(RET(R1), JOIN(RET(R2), RET(R3)))"; got != want {
+		t.Errorf("rewritten tree = %s, want %s", got, want)
+	}
+	// A star joined through R1 does not: pulling R1 out of the inner
+	// join would leave a cross product, so the cond must reject it.
+	l1 := w.retOf(w.leaf("S1", 8, core.A("S1", "a")))
+	l2 := w.retOf(w.leaf("S2", 4, core.A("S2", "a")))
+	l3 := w.retOf(w.leaf("S3", 2, core.A("S3", "a")))
+	inner := w.joinOf(l1, l2, core.EqAttr(core.A("S1", "a"), core.A("S2", "a")))
+	star := w.joinOf(inner, l3, core.EqAttr(core.A("S1", "a"), core.A("S3", "a")))
+	if out := w.rs.ApplyRule(assoc, star); len(out) != 0 {
+		t.Fatalf("cond should reject star association, got %d rewrites", len(out))
+	}
+}
+
+func TestApplyRuleDoesNotShareState(t *testing.T) {
+	w := newTestWorld()
+	commute := findTrans(t, w.rs, "join_commute")
+	tree := w.chain(8, 4, 2)
+	outs := w.rs.ApplyRule(commute, tree)
+	if len(outs) != 2 {
+		t.Fatalf("expected 2 rewrites, got %d", len(outs))
+	}
+	// Mutating one rewrite's descriptors must not leak into the other or
+	// into the original.
+	outs[0].D.SetFloat(w.nr, -1)
+	if tree.D.Float(w.nr) == -1 || outs[1].D.Float(w.nr) == -1 {
+		t.Errorf("rewrites share descriptor state")
+	}
+}

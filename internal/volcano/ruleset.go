@@ -97,7 +97,11 @@ func (b *TBinding) copyFrom(src *TBinding) {
 // and test); Appl is the appl_code (the post-test statements), which must
 // fill in the descriptors of all new right-hand-side nodes.
 type TransRule struct {
-	Name     string
+	Name string
+	// Origin records where the rule came from — a source position for
+	// DSL-compiled rules, empty for hand-coded ones. The per-rule
+	// verifier (internal/rulecheck) reports it with each verdict.
+	Origin   string
 	LHS, RHS *core.PatNode
 	Cond     func(b *TBinding) bool // nil means TRUE
 	Appl     func(b *TBinding)      // nil means no actions

@@ -240,9 +240,23 @@ func decodeDescriptor(ps *core.PropertySet, props map[string]PropValue) (*core.D
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
+		// Descriptor.Set panics on a kind mismatch (a rule-spec bug
+		// locally, but here the value came off the network); reject
+		// mismatched payloads as errors instead. Numeric kinds coerce
+		// freely, mirroring Set.
+		if want, got := ps.At(id).Kind, v.Kind(); got != want && !numericWireKinds(got, want) {
+			return nil, fmt.Errorf("wire: property %q holds %v, payload sent %v", name, want, got)
+		}
 		d.Set(id, v)
 	}
 	return d, nil
+}
+
+func numericWireKinds(a, b core.Kind) bool {
+	num := func(k core.Kind) bool {
+		return k == core.KindFloat || k == core.KindCost || k == core.KindInt
+	}
+	return num(a) && num(b)
 }
 
 // EncodePlan serializes an access plan.
@@ -288,6 +302,11 @@ func DecodePlan(alg *core.Algebra, n *PlanNode) (*core.Expr, error) {
 	op, ok := alg.Op(n.Op)
 	if !ok {
 		return nil, fmt.Errorf("wire: unknown algorithm %q", n.Op)
+	}
+	// core.NewNode panics on an arity mismatch; a malformed payload must
+	// come back as an error instead.
+	if len(n.Kids) != op.Arity {
+		return nil, fmt.Errorf("wire: %s expects %d inputs, payload has %d", op.Name, op.Arity, len(n.Kids))
 	}
 	kids := make([]*core.Expr, len(n.Kids))
 	for i, k := range n.Kids {
